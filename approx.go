@@ -1,0 +1,83 @@
+package emdsearch
+
+import (
+	"fmt"
+	"math"
+
+	"emdsearch/internal/core"
+	"emdsearch/internal/emd"
+	"emdsearch/internal/lb"
+	"emdsearch/internal/search"
+)
+
+// ApproxResult is one approximate answer: a database item with a
+// guaranteed interval [Lower, Upper] containing its exact EMD to the
+// query.
+type ApproxResult struct {
+	Index        int
+	Lower, Upper float64
+}
+
+// ApproxCertificate bounds the quality of an ApproxKNN answer: the
+// true k-th nearest distance lies in [LowerK, UpperK] and every
+// returned item's exact distance is at most UpperK. Pulled counts the
+// candidates examined; no full-dimensional transportation LP was
+// solved for any of them.
+type ApproxCertificate struct {
+	LowerK, UpperK float64
+	Pulled         int
+}
+
+// ApproxKNN answers a k-NN query approximately but with guarantees,
+// without solving a single full-dimensional transportation LP: the
+// optimal (min-cost) reduced EMD lower-bounds each distance from the
+// precomputed reduced vectors, and a greedy feasible flow on the
+// original vectors (O(d^2), roughly two orders of magnitude cheaper
+// than the exact solver) upper-bounds it. Candidates are pulled in
+// lower-bound order until the certificate closes; the k candidates
+// with the smallest upper bounds are returned with their intervals.
+// Requires a built reduction (ReducedDims > 0 and Build called).
+func (e *Engine) ApproxKNN(q Histogram, k int) ([]ApproxResult, *ApproxCertificate, error) {
+	if err := emd.Validate(q); err != nil {
+		return nil, nil, fmt.Errorf("emdsearch: query: %w", err)
+	}
+	if len(q) != e.Dim() {
+		return nil, nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	}
+	if e.red == nil {
+		return nil, nil, fmt.Errorf("emdsearch: ApproxKNN needs a built reduction (set ReducedDims and call Build)")
+	}
+	lower, err := core.NewReducedEMD(e.cost, e.red, e.red)
+	if err != nil {
+		return nil, nil, err
+	}
+	upper, err := lb.NewGreedyUpper(e.cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	vectors := e.store.Vectors()
+	qr := e.red.Apply(q)
+	lowers := make([]float64, len(vectors))
+	for i, v := range vectors {
+		lowers[i] = lower.DistanceReduced(qr, e.red.Apply(v))
+	}
+	for i := range lowers {
+		if e.deleted[i] {
+			lowers[i] = math.Inf(1)
+		}
+	}
+	intervals, cert, err := search.ApproxKNN(search.NewScanRanking(lowers), func(i int) float64 {
+		if e.deleted[i] {
+			return math.Inf(1)
+		}
+		return upper.Distance(q, vectors[i])
+	}, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]ApproxResult, len(intervals))
+	for i, iv := range intervals {
+		out[i] = ApproxResult{Index: iv.Index, Lower: iv.Lower, Upper: iv.Upper}
+	}
+	return out, &ApproxCertificate{LowerK: cert.LowerK, UpperK: cert.UpperK, Pulled: cert.Pulled}, nil
+}

@@ -1,0 +1,60 @@
+package emdsearch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchResult is the outcome of one query in a batch.
+type BatchResult struct {
+	// Query is the index of the query within the batch.
+	Query   int
+	Results []Result
+	Stats   *QueryStats
+	Err     error
+}
+
+// BatchKNN answers many k-NN queries concurrently using up to workers
+// goroutines (0 means GOMAXPROCS). The query pipeline is shared and
+// read-only during the batch, so per-query state stays on each worker;
+// results arrive indexed by query position. The engine must not be
+// mutated while a batch is running.
+func (e *Engine) BatchKNN(queries []Histogram, k, workers int) ([]BatchResult, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("emdsearch: empty batch")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("emdsearch: k = %d, want >= 1", k)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	// Build the shared pipeline once, before fanning out.
+	if err := e.ensureSearcher(); err != nil {
+		return nil, err
+	}
+
+	out := make([]BatchResult, len(queries))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range next {
+				results, stats, err := e.KNN(queries[qi], k)
+				out[qi] = BatchResult{Query: qi, Results: results, Stats: stats, Err: err}
+			}
+		}()
+	}
+	for qi := range queries {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+	return out, nil
+}

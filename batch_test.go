@@ -1,0 +1,122 @@
+package emdsearch
+
+import (
+	"testing"
+
+	"emdsearch/internal/data"
+)
+
+func TestBatchKNNMatchesSequential(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 150)
+	batch, err := eng.BatchKNN(queries, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("batch returned %d results, want %d", len(batch), len(queries))
+	}
+	for qi, br := range batch {
+		if br.Err != nil {
+			t.Fatalf("query %d: %v", qi, br.Err)
+		}
+		if br.Query != qi {
+			t.Fatalf("result %d labeled as query %d", qi, br.Query)
+		}
+		want, _, err := eng.KNN(queries[qi], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(br.Results) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(br.Results), len(want))
+		}
+		for i := range want {
+			if br.Results[i] != want[i] {
+				t.Fatalf("query %d result %d: got %+v, want %+v", qi, i, br.Results[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBatchKNNValidation(t *testing.T) {
+	eng, queries := buildEngine(t, Options{}, 20)
+	if _, err := eng.BatchKNN(nil, 3, 2); err == nil {
+		t.Error("accepted empty batch")
+	}
+	if _, err := eng.BatchKNN(queries, 0, 2); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+func TestBatchKNNDefaultWorkers(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 4, SampleSize: 8}, 30)
+	batch, err := eng.BatchKNN(queries, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range batch {
+		if br.Err != nil {
+			t.Fatal(br.Err)
+		}
+	}
+}
+
+func TestBatchKNNSurfacesPerQueryErrors(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 4, SampleSize: 8}, 30)
+	bad := append([]Histogram{}, queries...)
+	bad[1] = Histogram{0.5, 0.5} // wrong dimensionality
+	batch, err := eng.BatchKNN(bad, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[1].Err == nil {
+		t.Error("invalid query did not surface an error")
+	}
+	if batch[0].Err != nil || batch[2].Err != nil {
+		t.Error("valid queries failed")
+	}
+}
+
+func TestBatchKNNWithIndexedCentroidBase(t *testing.T) {
+	// Exercises the k-d tree base ranking under concurrency (run with
+	// -race in CI): the tree and stage closures are shared read-only.
+	ds, err := data.ColorImages(160, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs, queries, err := ds.Split(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds.Cost, Options{
+		ReducedDims: 8,
+		SampleSize:  16,
+		Positions:   ds.Positions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range vecs {
+		eng.Add(ds.Items[i].Label, h)
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := eng.BatchKNN(queries, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, br := range batch {
+		if br.Err != nil {
+			t.Fatalf("query %d: %v", qi, br.Err)
+		}
+		want, _, err := eng.KNN(queries[qi], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if br.Results[i] != want[i] {
+				t.Fatalf("query %d result %d mismatch", qi, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command emddist computes Earth Mover's Distances between histograms
+// read from files. Each input file holds one histogram per line as
+// whitespace-separated numbers; all histograms must share one
+// dimensionality. The ground distance is chosen with -cost, or read
+// from a file of bin positions (-positions, one position per line)
+// with the -p norm.
+//
+// Examples:
+//
+//	emddist -cost linear a.txt b.txt            # all pairs between files
+//	emddist -cost modulo -normalize a.txt       # all pairs within one file
+//	emddist -positions bins.txt -p 2 a.txt b.txt
+//	emddist -cost linear -partial a.txt b.txt   # unequal-mass partial EMD
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emdsearch/internal/data"
+	"emdsearch/internal/emd"
+)
+
+func main() {
+	var (
+		costKind  = flag.String("cost", "linear", "ground distance: linear, modulo, or use -positions")
+		positions = flag.String("positions", "", "file of bin positions (one per line) for a positional ground distance")
+		p         = flag.Float64("p", 2, "Minkowski order for -positions")
+		normalize = flag.Bool("normalize", false, "normalize histograms to total mass 1 before computing")
+		partial   = flag.Bool("partial", false, "compute the unequal-mass partial EMD (implies no normalization check)")
+		penalty   = flag.Float64("penalty", 0, "with -partial: per-unit penalty for surplus mass (EMD-hat)")
+		withFlow  = flag.Bool("flow", false, "print the optimal flow matrix for each pair")
+	)
+	flag.Parse()
+	files := flag.Args()
+	if len(files) < 1 || len(files) > 2 {
+		fmt.Fprintln(os.Stderr, "emddist: need one or two histogram files")
+		os.Exit(2)
+	}
+
+	left, err := readHistograms(files[0])
+	if err != nil {
+		fail(err)
+	}
+	right := left
+	within := true
+	if len(files) == 2 {
+		right, err = readHistograms(files[1])
+		if err != nil {
+			fail(err)
+		}
+		within = false
+	}
+	if len(left) == 0 || len(right) == 0 {
+		fail(fmt.Errorf("no histograms found"))
+	}
+	d := len(left[0])
+	for _, hs := range [][]emd.Histogram{left, right} {
+		for i, h := range hs {
+			if len(h) != d {
+				fail(fmt.Errorf("histogram %d has %d bins, want %d", i, len(h), d))
+			}
+		}
+	}
+	if *normalize {
+		for _, hs := range [][]emd.Histogram{left, right} {
+			for i := range hs {
+				hs[i] = emd.Normalize(hs[i])
+			}
+		}
+	}
+
+	cost, err := buildCost(*costKind, *positions, *p, d)
+	if err != nil {
+		fail(err)
+	}
+
+	for i, x := range left {
+		for j, y := range right {
+			if within && j <= i {
+				continue
+			}
+			var dist float64
+			var err error
+			switch {
+			case *partial && *penalty > 0:
+				dist, err = emd.PenalizedDistance(x, y, cost, *penalty)
+			case *partial:
+				dist, err = emd.PartialDistance(x, y, cost)
+			default:
+				dist, err = emd.Distance(x, y, cost)
+			}
+			if err != nil {
+				fail(fmt.Errorf("pair (%d, %d): %w", i, j, err))
+			}
+			fmt.Printf("%d\t%d\t%.9g\n", i, j, dist)
+			if *withFlow && !*partial {
+				_, flow, err := emd.DistanceWithFlow(x, y, cost)
+				if err != nil {
+					fail(err)
+				}
+				for fi, row := range flow {
+					for fj, f := range row {
+						if f > 1e-12 {
+							fmt.Printf("  flow %d -> %d: %.9g\n", fi, fj, f)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func buildCost(kind, positionsFile string, p float64, d int) (emd.CostMatrix, error) {
+	if positionsFile != "" {
+		pos, err := readHistograms(positionsFile)
+		if err != nil {
+			return nil, err
+		}
+		if len(pos) != d {
+			return nil, fmt.Errorf("%d positions for %d bins", len(pos), d)
+		}
+		coords := make([][]float64, len(pos))
+		for i := range pos {
+			coords[i] = pos[i]
+		}
+		return emd.PositionCost(coords, coords, p)
+	}
+	switch kind {
+	case "linear":
+		return emd.LinearCost(d), nil
+	case "modulo":
+		return emd.ModuloCost(d), nil
+	}
+	return nil, fmt.Errorf("unknown cost %q (want linear, modulo, or -positions)", kind)
+}
+
+func readHistograms(path string) ([]emd.Histogram, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	vectors, _, err := data.ReadVectors(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make([]emd.Histogram, len(vectors))
+	for i, v := range vectors {
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "emddist: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command emdgen generates one of the synthetic evaluation corpora and
+// writes it as a binary database file that cmd/emdquery (and any code
+// using internal/db.Load) can open.
+//
+// Usage:
+//
+//	emdgen -dataset retina|irma|color|music|words|gaussian -n 1000 -seed 1 -out retina.db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emdsearch/internal/data"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "retina", "corpus: retina, irma, color, music, words, gaussian")
+		n       = flag.Int("n", 1000, "number of objects")
+		dim     = flag.Int("dim", 48, "dimensionality (music and words corpora only)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "emdgen: -out is required")
+		os.Exit(2)
+	}
+
+	var ds *data.Dataset
+	var err error
+	switch *dataset {
+	case "retina":
+		ds, err = data.Retina(*n, *seed)
+	case "irma":
+		ds, err = data.IRMA(*n, *seed)
+	case "color":
+		ds, err = data.ColorImages(*n, *seed)
+	case "music":
+		ds, err = data.MusicSpectra(*n, *dim, *seed)
+	case "words":
+		ds, err = data.Words(*n, *dim, *seed)
+	case "gaussian":
+		ds, err = data.GaussianMixtures(*n, *dim, 3, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "emdgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emdgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	database, err := ds.ToDatabase()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emdgen: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emdgen: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := database.Save(f); err != nil {
+		fmt.Fprintf(os.Stderr, "emdgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d objects, %d dimensions (%s)\n", *out, database.Len(), database.Dim(), ds.Name)
+}

@@ -1,0 +1,134 @@
+// Command emdquery opens a corpus written by emdgen, builds a
+// filter-and-refine search engine over it and answers k-NN queries,
+// printing the neighbors (with class labels) and the multistep filter
+// statistics.
+//
+// The ground-distance matrix is not serialized with the data; it is
+// reconstructed from the corpus type exactly as emdgen built it, so
+// -dataset (and -dim/-seed for the music/words corpora) must match the
+// generation parameters.
+//
+// Usage:
+//
+//	emdgen  -dataset color -n 2000 -out color.db
+//	emdquery -db color.db -dataset color -dprime 8 -k 10 -query 17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emdsearch/internal/data"
+	"emdsearch/internal/db"
+	"emdsearch/internal/emd"
+
+	emdsearch "emdsearch"
+)
+
+func costFor(dataset string, dim int, seed int64) (emd.CostMatrix, error) {
+	switch dataset {
+	case "retina":
+		pos := emd.GridPositions(data.RetinaTileRows, data.RetinaTileCols)
+		return emd.PositionCost(pos, pos, 2)
+	case "irma":
+		return emd.ScaleCost(emd.LinearCost(data.IRMADim), 1.0/float64(data.IRMADim-1))
+	case "color":
+		ds, err := data.ColorImages(1, seed)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Cost, nil
+	case "music":
+		return emd.ScaleCost(emd.LinearCost(dim), 1.0/float64(dim-1))
+	case "words":
+		ds, err := data.Words(1, dim, seed)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Cost, nil
+	case "gaussian":
+		return emd.ScaleCost(emd.LinearCost(dim), 1.0/float64(dim-1))
+	}
+	return nil, fmt.Errorf("unknown dataset %q", dataset)
+}
+
+func main() {
+	var (
+		dbPath  = flag.String("db", "", "database file written by emdgen (required)")
+		dataset = flag.String("dataset", "retina", "corpus type used at generation time")
+		dim     = flag.Int("dim", 48, "dimensionality used at generation time (music/words)")
+		seed    = flag.Int64("seed", 1, "seed used at generation time (color/words cost reconstruction)")
+		dprime  = flag.Int("dprime", 8, "reduced filter dimensionality (0 = exact scan)")
+		k       = flag.Int("k", 10, "number of neighbors")
+		queryI  = flag.Int("query", 0, "database index used as the query object")
+		method  = flag.String("method", "fb-all", "reduction method: fb-all, fb-mod, kmedoids, adjacent")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "emdquery: -db is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		fail(err)
+	}
+	store, err := db.Load(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	cost, err := costFor(*dataset, *dim, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if cost.Rows() != store.Dim() {
+		fail(fmt.Errorf("cost matrix is %dx%d but database stores %d dimensions — check -dataset/-dim",
+			cost.Rows(), cost.Cols(), store.Dim()))
+	}
+	if *queryI < 0 || *queryI >= store.Len() {
+		fail(fmt.Errorf("query index %d out of range [0, %d)", *queryI, store.Len()))
+	}
+
+	eng, err := emdsearch.NewEngine(cost, emdsearch.Options{
+		ReducedDims: *dprime,
+		Method:      emdsearch.ReductionMethod(*method),
+	})
+	if err != nil {
+		fail(err)
+	}
+	for i := 0; i < store.Len(); i++ {
+		item := store.Item(i)
+		if _, err := eng.Add(item.Label, item.Vector); err != nil {
+			fail(err)
+		}
+	}
+	if *dprime > 0 {
+		fmt.Printf("building %s reduction to d'=%d over %d objects...\n", *method, *dprime, eng.Len())
+		if err := eng.Build(); err != nil {
+			fail(err)
+		}
+	}
+
+	q := store.Vector(*queryI)
+	fmt.Printf("query: object %d (label %q)\n", *queryI, store.Item(*queryI).Label)
+	results, stats, err := eng.KNN(q, *k)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n%-6s  %-10s  %s\n", "rank", "distance", "object")
+	for rank, r := range results {
+		fmt.Printf("%-6d  %-10.5f  #%d (%s)\n", rank+1, r.Dist, r.Index, store.Item(r.Index).Label)
+	}
+	fmt.Printf("\nfilter statistics: %d refinements of %d objects", stats.Refinements, eng.Len())
+	for i, e := range stats.StageEvaluations {
+		fmt.Printf(", stage %d evaluated %d", i+1, e)
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "emdquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,30 @@
+package emdsearch
+
+import "fmt"
+
+// Delete removes item i from query results. The deletion is "soft":
+// the item keeps its index (ids of other items are stable) and its
+// filter representations remain in place, but its refinement distance
+// is treated as infinite, so it can never appear in KNN, Range,
+// RangeIDs, Rank or ApproxKNN results. Space is reclaimed only by
+// rebuilding the engine from the surviving items.
+func (e *Engine) Delete(i int) error {
+	if i < 0 || i >= e.store.Len() {
+		return fmt.Errorf("emdsearch: Delete(%d): index out of range [0, %d)", i, e.store.Len())
+	}
+	if e.deleted == nil {
+		e.deleted = make(map[int]bool)
+	}
+	if e.deleted[i] {
+		return fmt.Errorf("emdsearch: item %d already deleted", i)
+	}
+	e.deleted[i] = true
+	e.searcher = nil
+	return nil
+}
+
+// Deleted reports whether item i has been soft-deleted.
+func (e *Engine) Deleted(i int) bool { return e.deleted[i] }
+
+// Alive returns the number of non-deleted items.
+func (e *Engine) Alive() int { return e.store.Len() - len(e.deleted) }

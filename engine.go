@@ -1,0 +1,551 @@
+package emdsearch
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"emdsearch/internal/cluster"
+	"emdsearch/internal/core"
+	"emdsearch/internal/db"
+	"emdsearch/internal/emd"
+	"emdsearch/internal/flowred"
+	"emdsearch/internal/kdtree"
+	"emdsearch/internal/lb"
+	"emdsearch/internal/search"
+	"emdsearch/internal/vecmath"
+)
+
+// ReductionMethod selects how the Engine constructs its combining
+// reduction matrix.
+type ReductionMethod string
+
+const (
+	// FBAll is the flow-based reduction with best-move local search
+	// (paper Figure 9), initialized from k-medoids. The default and
+	// usually the tightest filter.
+	FBAll ReductionMethod = "fb-all"
+	// FBMod is the flow-based reduction with first-improvement
+	// round-robin search (paper Figure 8), initialized from k-medoids.
+	// Cheaper to build than FBAll on high-dimensional data.
+	FBMod ReductionMethod = "fb-mod"
+	// KMedoids is the data-independent clustering reduction (paper
+	// Section 3.3); it needs no database sample.
+	KMedoids ReductionMethod = "kmedoids"
+	// Adjacent merges contiguous runs of dimensions; appropriate for
+	// 1-D ordered feature spaces and as a cheap baseline.
+	Adjacent ReductionMethod = "adjacent"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// ReducedDims is d', the filter dimensionality. 0 disables
+	// filtering: queries degrade to an exact sequential scan.
+	ReducedDims int
+	// Method selects the reduction heuristic; default FBAll.
+	Method ReductionMethod
+	// SampleSize is the database sample used for flow collection by
+	// the flow-based methods; default 64.
+	SampleSize int
+	// DisableIMFilter switches off the Red-IM pre-filter stage
+	// (enabled by default; it is essentially free and prunes Red-EMD
+	// evaluations).
+	DisableIMFilter bool
+	// AsymmetricQuery keeps the query at full dimensionality in the
+	// Red-EMD filter (R1 = identity, R2 = the built reduction;
+	// Section 3.2 of the paper). The filter becomes a rectangular
+	// d x d' EMD: tighter (fewer refinements) but costlier per
+	// evaluation — worthwhile when refinement dominates, i.e. large d.
+	// Ignored when a Hierarchy is configured.
+	AsymmetricQuery bool
+	// Hierarchy configures a multi-level filter cascade (generalizing
+	// the fixed factor-4 hierarchy of the prior grid-tiling approach):
+	// the listed reduced dimensionalities are built as *nested*
+	// reductions (each coarser level merges groups of the finer one),
+	// and queries run them coarsest-first. Example: {32, 8, 2} on
+	// 96-dimensional data. When set, ReducedDims must be zero or equal
+	// to the largest entry.
+	Hierarchy []int
+	// Positions optionally gives the feature-space position of each
+	// histogram bin. When set — and only when the cost matrix is the
+	// PositionNorm distance between these positions — the engine adds
+	// Rubner's centroid lower bound as a near-free first filter stage.
+	// The correspondence is verified at Build/first-query time.
+	Positions [][]float64
+	// PositionNorm is the Lp order of the position-based ground
+	// distance (default 2). Ignored without Positions.
+	PositionNorm float64
+	// Seed drives all randomized components; the default 0 is a valid
+	// fixed seed, so runs are reproducible unless the caller varies it.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Method == "" {
+		o.Method = FBAll
+	}
+	if o.SampleSize == 0 {
+		o.SampleSize = 64
+	}
+	if o.PositionNorm == 0 {
+		o.PositionNorm = 2
+	}
+	return o
+}
+
+// Engine is the high-level similarity-search index: a histogram
+// database plus a multistep EMD query processor with a reduced-EMD
+// filter chain.
+type Engine struct {
+	opts     Options
+	cost     emd.CostMatrix
+	dist     *emd.Dist
+	store    *db.Database
+	red      *core.Reduction
+	searcher *search.Searcher  // rebuilt lazily after mutations
+	deleted  map[int]bool      // soft-deleted item ids
+	cascade  []*core.Reduction // nested hierarchy levels, finest first (nil without Hierarchy)
+}
+
+// NewEngine creates an engine for histograms whose ground distance is
+// the given square cost matrix.
+func NewEngine(cost CostMatrix, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	dist, err := emd.NewDist(cost)
+	if err != nil {
+		return nil, err
+	}
+	rows, cols := dist.Dims()
+	if rows != cols {
+		return nil, fmt.Errorf("emdsearch: cost matrix is %dx%d, want square", rows, cols)
+	}
+	if opts.ReducedDims < 0 || opts.ReducedDims > rows {
+		return nil, fmt.Errorf("emdsearch: ReducedDims %d out of range [0, %d]", opts.ReducedDims, rows)
+	}
+	if len(opts.Hierarchy) > 0 {
+		sorted := append([]int(nil), opts.Hierarchy...)
+		sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+		for i, dr := range sorted {
+			if dr < 1 || dr > rows {
+				return nil, fmt.Errorf("emdsearch: Hierarchy level %d out of range [1, %d]", dr, rows)
+			}
+			if i > 0 && dr >= sorted[i-1] {
+				return nil, fmt.Errorf("emdsearch: Hierarchy levels must be distinct (got %v)", opts.Hierarchy)
+			}
+		}
+		if opts.ReducedDims != 0 && opts.ReducedDims != sorted[0] {
+			return nil, fmt.Errorf("emdsearch: ReducedDims %d conflicts with Hierarchy maximum %d", opts.ReducedDims, sorted[0])
+		}
+		opts.ReducedDims = sorted[0]
+		opts.Hierarchy = sorted
+	}
+	store, err := db.New(rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{opts: opts, cost: cost, dist: dist, store: store}, nil
+}
+
+// Add validates and inserts a histogram with an optional label,
+// returning its index. Adding invalidates the prepared query pipeline;
+// it is rebuilt transparently on the next query (the reduction matrix
+// itself is kept — re-run Build to re-derive it from the grown data).
+func (e *Engine) Add(label string, h Histogram) (int, error) {
+	id, err := e.store.Add(label, h)
+	if err != nil {
+		return 0, err
+	}
+	e.searcher = nil
+	return id, nil
+}
+
+// Len returns the number of indexed histograms.
+func (e *Engine) Len() int { return e.store.Len() }
+
+// Dim returns the histogram dimensionality.
+func (e *Engine) Dim() int { return e.store.Dim() }
+
+// Label returns the label of item i.
+func (e *Engine) Label(i int) string { return e.store.Item(i).Label }
+
+// Vector returns the histogram of item i.
+func (e *Engine) Vector(i int) Histogram { return e.store.Vector(i) }
+
+// Build derives the reduction matrix from the indexed data according
+// to the configured method. It must be called once after the initial
+// bulk load (and may be called again later to re-derive the reduction
+// from grown data). With ReducedDims == 0 it is a no-op.
+func (e *Engine) Build() error {
+	if e.opts.ReducedDims == 0 {
+		e.red = nil
+		e.searcher = nil
+		return nil
+	}
+	if e.store.Len() == 0 {
+		return fmt.Errorf("emdsearch: Build on empty engine")
+	}
+	rng := rand.New(rand.NewSource(e.opts.Seed))
+	var red *core.Reduction
+	var flows [][]float64
+	switch e.opts.Method {
+	case Adjacent:
+		r, err := core.Adjacent(e.Dim(), e.opts.ReducedDims)
+		if err != nil {
+			return err
+		}
+		red = r
+	case KMedoids:
+		res, err := cluster.BestOfRestarts(e.cost, e.opts.ReducedDims, 3, rng)
+		if err != nil {
+			return err
+		}
+		red = res.Reduction
+	case FBMod, FBAll:
+		res, err := cluster.BestOfRestarts(e.cost, e.opts.ReducedDims, 3, rng)
+		if err != nil {
+			return err
+		}
+		sample := flowred.Sample(e.store.Vectors(), e.opts.SampleSize, rng)
+		if len(sample) < 2 {
+			return fmt.Errorf("emdsearch: flow-based reduction needs at least 2 indexed histograms")
+		}
+		flows, err = flowred.AverageFlowsParallel(sample, e.dist, 0)
+		if err != nil {
+			return err
+		}
+		var optErr error
+		if e.opts.Method == FBMod {
+			red, _, optErr = flowred.OptimizeMod(res.Reduction.Assignment(), e.opts.ReducedDims, flows, e.cost, flowred.Options{})
+		} else {
+			red, _, optErr = flowred.OptimizeAll(res.Reduction.Assignment(), e.opts.ReducedDims, flows, e.cost, flowred.Options{})
+		}
+		if optErr != nil {
+			return optErr
+		}
+	default:
+		return fmt.Errorf("emdsearch: unknown reduction method %q", e.opts.Method)
+	}
+	e.red = red
+	e.cascade = nil
+	if len(e.opts.Hierarchy) > 1 {
+		cascade, err := e.buildCascade(red, flows, rng)
+		if err != nil {
+			return err
+		}
+		e.cascade = cascade
+	}
+	e.searcher = nil
+	return nil
+}
+
+// buildCascade derives the coarser nested levels of a hierarchy from
+// the finest reduction: each level clusters (or locally searches) the
+// previous level's *reduced* problem — reduced cost matrix and, for the
+// flow-based methods, aggregated flows — and is composed with it, so
+// every level's optimal reduced EMD lower-bounds the next finer one.
+func (e *Engine) buildCascade(finest *core.Reduction, flows [][]float64, rng *rand.Rand) ([]*core.Reduction, error) {
+	cascade := []*core.Reduction{finest}
+	prev := finest
+	curCost, err := core.ReduceCost(e.cost, prev, prev)
+	if err != nil {
+		return nil, err
+	}
+	curFlows := flows
+	if curFlows != nil {
+		if curFlows, err = core.AggregateFlows(curFlows, prev); err != nil {
+			return nil, err
+		}
+	}
+	for _, dr := range e.opts.Hierarchy[1:] {
+		var inner *core.Reduction
+		switch e.opts.Method {
+		case Adjacent:
+			if inner, err = core.Adjacent(prev.ReducedDims(), dr); err != nil {
+				return nil, err
+			}
+		case KMedoids:
+			res, err := cluster.BestOfRestarts(curCost, dr, 3, rng)
+			if err != nil {
+				return nil, err
+			}
+			inner = res.Reduction
+		case FBMod, FBAll:
+			res, err := cluster.BestOfRestarts(curCost, dr, 3, rng)
+			if err != nil {
+				return nil, err
+			}
+			if e.opts.Method == FBMod {
+				inner, _, err = flowred.OptimizeMod(res.Reduction.Assignment(), dr, curFlows, curCost, flowred.Options{})
+			} else {
+				inner, _, err = flowred.OptimizeAll(res.Reduction.Assignment(), dr, curFlows, curCost, flowred.Options{})
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		composed, err := core.Compose(prev, inner)
+		if err != nil {
+			return nil, err
+		}
+		cascade = append(cascade, composed)
+		if curCost, err = core.ReduceCost(curCost, inner, inner); err != nil {
+			return nil, err
+		}
+		if curFlows != nil {
+			if curFlows, err = core.AggregateFlows(curFlows, inner); err != nil {
+				return nil, err
+			}
+		}
+		prev = composed
+	}
+	return cascade, nil
+}
+
+// Reduction returns the current reduction's assignment of original to
+// reduced dimensions, or nil when the engine runs unreduced.
+func (e *Engine) Reduction() []int {
+	if e.red == nil {
+		return nil
+	}
+	return e.red.Assignment()
+}
+
+// ensureSearcher (re)builds the query pipeline for the current data.
+func (e *Engine) ensureSearcher() error {
+	if e.searcher != nil {
+		return nil
+	}
+	if e.store.Len() == 0 {
+		return fmt.Errorf("emdsearch: no indexed histograms")
+	}
+	vectors := e.store.Vectors()
+	s := &search.Searcher{
+		N: len(vectors),
+		Refine: func(q Histogram, i int) float64 {
+			if e.deleted[i] {
+				return math.Inf(1)
+			}
+			return e.dist.Distance(q, vectors[i])
+		},
+	}
+	if e.opts.Positions != nil {
+		cb, err := lb.NewCentroid(e.opts.Positions, e.opts.Positions, e.opts.PositionNorm)
+		if err != nil {
+			return err
+		}
+		if err := cb.CheckAgainst(e.cost, 1e-6); err != nil {
+			return fmt.Errorf("emdsearch: Positions do not match the cost matrix: %w", err)
+		}
+		// Precompute database centroids and index them in a k-d tree:
+		// the centroid distance lower-bounds the EMD, so an incremental
+		// nearest-centroid stream is a valid base ranking — no filter
+		// stage ever scans all n items.
+		centroids := make([][]float64, len(vectors))
+		for i, v := range vectors {
+			centroids[i] = vecmath.Centroid(v, e.opts.Positions)
+		}
+		tree, err := kdtree.Build(centroids, e.opts.PositionNorm)
+		if err != nil {
+			return err
+		}
+		positions := e.opts.Positions
+		s.BaseRanking = func(q Histogram) (search.Ranking, error) {
+			stream, err := tree.Query(vecmath.Centroid(q, positions))
+			if err != nil {
+				return nil, err
+			}
+			return &centroidRanking{stream: stream}, nil
+		}
+	}
+	if e.red != nil {
+		// Levels to filter with, coarsest first: the hierarchy cascade
+		// when configured, otherwise just the single reduction.
+		levels := []*core.Reduction{e.red}
+		if len(e.cascade) > 1 {
+			levels = make([]*core.Reduction, 0, len(e.cascade))
+			for i := len(e.cascade) - 1; i >= 0; i-- {
+				levels = append(levels, e.cascade[i])
+			}
+		}
+
+		type levelState struct {
+			red     *core.Reduction
+			reduced *core.ReducedEMD
+			vecs    []Histogram
+		}
+		states := make([]levelState, len(levels))
+		for li, lr := range levels {
+			lred, err := core.NewReducedEMD(e.cost, lr, lr)
+			if err != nil {
+				return err
+			}
+			lvecs := make([]Histogram, len(vectors))
+			for i, v := range vectors {
+				lvecs[i] = lr.Apply(v)
+			}
+			states[li] = levelState{red: lr, reduced: lred, vecs: lvecs}
+		}
+
+		if !e.opts.DisableIMFilter {
+			coarsest := states[0]
+			im, err := lb.NewIM(coarsest.reduced.Cost())
+			if err != nil {
+				return err
+			}
+			s.Stages = append(s.Stages, search.FilterStage{
+				Name:         "Red-IM",
+				PrepareQuery: coarsest.red.Apply,
+				Distance: func(qr Histogram, i int) float64 {
+					return im.Distance(qr, coarsest.vecs[i])
+				},
+			})
+		}
+		// Hierarchical mode: one Red-EMD stage per level, coarsest
+		// (cheapest) first; each lower-bounds the next by nesting.
+		if len(states) > 1 {
+			for li := range states {
+				st := states[li]
+				s.Stages = append(s.Stages, search.FilterStage{
+					Name:         fmt.Sprintf("Red-EMD-%d", st.red.ReducedDims()),
+					PrepareQuery: st.red.Apply,
+					Distance: func(qr Histogram, i int) float64 {
+						return st.reduced.DistanceReduced(qr, st.vecs[i])
+					},
+				})
+			}
+			e.searcher = s
+			return nil
+		}
+		reduced := states[0].reduced
+		reducedVecs := states[0].vecs
+		if e.opts.AsymmetricQuery {
+			// Rectangular filter EMD: unreduced query against reduced
+			// database vectors. It dominates the symmetric reduced EMD
+			// item-wise, so chaining after Red-IM stays valid.
+			asym, err := core.NewReducedEMD(e.cost, core.Identity(e.Dim()), e.red)
+			if err != nil {
+				return err
+			}
+			s.Stages = append(s.Stages, search.FilterStage{
+				Name:         "Asym-Red-EMD",
+				PrepareQuery: func(q Histogram) Histogram { return q },
+				Distance: func(q Histogram, i int) float64 {
+					return asym.DistanceReduced(q, reducedVecs[i])
+				},
+			})
+		} else {
+			s.Stages = append(s.Stages, search.FilterStage{
+				Name:         "Red-EMD",
+				PrepareQuery: e.red.Apply,
+				Distance: func(qr Histogram, i int) float64 {
+					return reduced.DistanceReduced(qr, reducedVecs[i])
+				},
+			})
+		}
+	}
+	e.searcher = s
+	return nil
+}
+
+// KNN returns the k nearest neighbors of q under the exact EMD,
+// computed losslessly through the filter chain.
+func (e *Engine) KNN(q Histogram, k int) ([]Result, *QueryStats, error) {
+	if err := emd.Validate(q); err != nil {
+		return nil, nil, fmt.Errorf("emdsearch: query: %w", err)
+	}
+	if len(q) != e.Dim() {
+		return nil, nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	}
+	if err := e.ensureSearcher(); err != nil {
+		return nil, nil, err
+	}
+	results, stats, err := e.searcher.KNN(q, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Soft-deleted items surface with infinite distance when fewer
+	// than k live items remain; drop them.
+	live := results[:0]
+	for _, r := range results {
+		if !math.IsInf(r.Dist, 1) {
+			live = append(live, r)
+		}
+	}
+	return live, stats, nil
+}
+
+// Range returns all items within exact EMD eps of q.
+func (e *Engine) Range(q Histogram, eps float64) ([]Result, *QueryStats, error) {
+	if err := emd.Validate(q); err != nil {
+		return nil, nil, fmt.Errorf("emdsearch: query: %w", err)
+	}
+	if len(q) != e.Dim() {
+		return nil, nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	}
+	if err := e.ensureSearcher(); err != nil {
+		return nil, nil, err
+	}
+	return e.searcher.Range(q, eps)
+}
+
+// Distance computes the exact EMD between q and indexed item i.
+func (e *Engine) Distance(q Histogram, i int) float64 {
+	return e.dist.Distance(q, e.store.Vector(i))
+}
+
+// Save persists the engine's data and reduction to w.
+func (e *Engine) Save(w io.Writer) error {
+	if e.red != nil {
+		if _, ok := e.store.Reduction("engine"); !ok {
+			if err := e.store.Precompute("engine", e.red); err != nil {
+				return err
+			}
+		}
+	}
+	return e.store.Save(w)
+}
+
+// LoadEngine restores an engine saved with Save; cost and opts must
+// match the saved engine's configuration (they are not serialized).
+// Only the finest reduction is persisted: an engine configured with a
+// Hierarchy answers queries exactly after loading but runs the
+// single-level filter until Build is called again to re-derive the
+// cascade.
+func LoadEngine(r io.Reader, cost CostMatrix, opts Options) (*Engine, error) {
+	e, err := NewEngine(cost, opts)
+	if err != nil {
+		return nil, err
+	}
+	store, err := db.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if store.Dim() != e.Dim() {
+		return nil, fmt.Errorf("emdsearch: saved data has %d dimensions, cost matrix has %d", store.Dim(), e.Dim())
+	}
+	e.store = store
+	if red, ok := store.Reduction("engine"); ok {
+		if red.ReducedDims() != e.opts.ReducedDims && e.opts.ReducedDims != 0 {
+			return nil, fmt.Errorf("emdsearch: saved reduction has d'=%d, options request %d", red.ReducedDims(), e.opts.ReducedDims)
+		}
+		e.red = red
+	}
+	return e, nil
+}
+
+// centroidRanking adapts an incremental k-d tree stream over database
+// centroids to the search.Ranking interface.
+type centroidRanking struct {
+	stream *kdtree.Stream
+}
+
+// Next yields the next-nearest centroid's item.
+func (r *centroidRanking) Next() (search.Candidate, bool) {
+	id, dist, ok := r.stream.Next()
+	if !ok {
+		return search.Candidate{}, false
+	}
+	return search.Candidate{Index: id, Dist: dist}, true
+}

@@ -1,0 +1,134 @@
+package emdsearch
+
+import (
+	"fmt"
+	"math"
+
+	"emdsearch/internal/core"
+	"emdsearch/internal/emd"
+	"emdsearch/internal/lb"
+	"emdsearch/internal/search"
+	"emdsearch/internal/stats"
+)
+
+// EpsilonForCount returns a range radius guaranteed to make
+// Range(q, eps) return at least `count` results, computed from reduced
+// representations only: it is the count-th smallest *upper-bound*
+// distance (max-cost reduced EMD) from q to the database. Because the
+// upper bound dominates the exact EMD, at least `count` objects lie
+// within the returned radius. Typical use is result-size-targeted
+// range search ("give me roughly fifty matches") without guessing in
+// distance units. Requires a built reduction.
+func (e *Engine) EpsilonForCount(q Histogram, count int) (float64, error) {
+	if err := emd.Validate(q); err != nil {
+		return 0, fmt.Errorf("emdsearch: query: %w", err)
+	}
+	if len(q) != e.Dim() {
+		return 0, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	}
+	if count < 1 || count > e.Len() {
+		return 0, fmt.Errorf("emdsearch: count %d out of range [1, %d]", count, e.Len())
+	}
+	if e.red == nil {
+		return 0, fmt.Errorf("emdsearch: EpsilonForCount needs a built reduction (set ReducedDims and call Build)")
+	}
+	upper, err := core.NewReducedEMDUpper(e.cost, e.red, e.red)
+	if err != nil {
+		return 0, err
+	}
+	qr := e.red.Apply(q)
+	uppers := make([]float64, e.Len())
+	for i := 0; i < e.Len(); i++ {
+		uppers[i] = upper.DistanceReduced(qr, e.red.Apply(e.store.Vector(i)))
+	}
+	d, err := stats.NewDistribution(uppers)
+	if err != nil {
+		return 0, err
+	}
+	return d.KthSmallest(count), nil
+}
+
+// DistanceDistribution summarizes the exact EMDs from q to a sample of
+// up to sampleSize database objects (deterministic stride sampling).
+// Useful for choosing range radii and judging workload difficulty; for
+// guaranteed result counts prefer EpsilonForCount, which needs no
+// exact EMDs at all.
+func (e *Engine) DistanceDistribution(q Histogram, sampleSize int) (*stats.Distribution, error) {
+	if err := emd.Validate(q); err != nil {
+		return nil, fmt.Errorf("emdsearch: query: %w", err)
+	}
+	if len(q) != e.Dim() {
+		return nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	}
+	if sampleSize < 1 {
+		return nil, fmt.Errorf("emdsearch: sample size %d, want >= 1", sampleSize)
+	}
+	n := e.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("emdsearch: empty engine")
+	}
+	if sampleSize > n {
+		sampleSize = n
+	}
+	stride := n / sampleSize
+	if stride < 1 {
+		stride = 1
+	}
+	var dists []float64
+	for i := 0; i < n && len(dists) < sampleSize; i += stride {
+		dists = append(dists, e.Distance(q, i))
+	}
+	return stats.NewDistribution(dists)
+}
+
+// RangeIDs answers a membership range query — which items lie within
+// eps — exactly, but cheaper than Range when distances are not
+// needed: items whose greedy-flow upper bound is already within eps
+// are accepted without an exact EMD computation; only items whose
+// [reduced-EMD lower bound, greedy upper bound] interval straddles eps
+// are refined. Returns ascending item ids.
+func (e *Engine) RangeIDs(q Histogram, eps float64) ([]int, error) {
+	if err := emd.Validate(q); err != nil {
+		return nil, fmt.Errorf("emdsearch: query: %w", err)
+	}
+	if len(q) != e.Dim() {
+		return nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	}
+	if err := e.ensureSearcher(); err != nil {
+		return nil, err
+	}
+	upper, err := lb.NewGreedyUpper(e.cost)
+	if err != nil {
+		return nil, err
+	}
+	vectors := e.store.Vectors()
+	var lowers []float64
+	if e.red != nil {
+		lower, err := core.NewReducedEMD(e.cost, e.red, e.red)
+		if err != nil {
+			return nil, err
+		}
+		qr := e.red.Apply(q)
+		lowers = make([]float64, len(vectors))
+		for i, v := range vectors {
+			lowers[i] = lower.DistanceReduced(qr, e.red.Apply(v))
+		}
+	} else {
+		lowers = make([]float64, len(vectors))
+	}
+	ids, _, err := search.RangeIDs(search.NewScanRanking(lowers),
+		func(i int) float64 {
+			if e.deleted[i] {
+				return math.Inf(1)
+			}
+			return e.dist.Distance(q, vectors[i])
+		},
+		func(i int) float64 {
+			if e.deleted[i] {
+				return math.Inf(1)
+			}
+			return upper.Distance(q, vectors[i])
+		},
+		eps)
+	return ids, err
+}

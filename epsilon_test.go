@@ -1,0 +1,112 @@
+package emdsearch
+
+import (
+	"testing"
+)
+
+func TestEpsilonForCountGuarantee(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 120)
+	for _, q := range queries {
+		for _, count := range []int{1, 10, 40} {
+			eps, err := eng.EpsilonForCount(q, count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, _, err := eng.Range(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) < count {
+				t.Fatalf("count=%d: eps %g returned only %d results", count, eps, len(results))
+			}
+		}
+	}
+}
+
+func TestEpsilonForCountValidation(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 30)
+	if _, err := eng.EpsilonForCount(queries[0], 0); err == nil {
+		t.Error("accepted count=0")
+	}
+	if _, err := eng.EpsilonForCount(queries[0], 1000); err == nil {
+		t.Error("accepted count > n")
+	}
+	if _, err := eng.EpsilonForCount(Histogram{1}, 3); err == nil {
+		t.Error("accepted bad query")
+	}
+	scan, scanQueries := buildEngine(t, Options{}, 30)
+	if _, err := scan.EpsilonForCount(scanQueries[0], 3); err == nil {
+		t.Error("worked without a reduction")
+	}
+}
+
+func TestDistanceDistribution(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 100)
+	d, err := eng.DistanceDistribution(queries[0], 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() < 30 || d.Count() > 40 {
+		t.Errorf("sample size %d, want about 40", d.Count())
+	}
+	if d.Min() < 0 || d.Max() < d.Min() {
+		t.Errorf("degenerate distribution: [%g, %g]", d.Min(), d.Max())
+	}
+	if _, err := eng.DistanceDistribution(queries[0], 0); err == nil {
+		t.Error("accepted sample size 0")
+	}
+	if _, err := eng.DistanceDistribution(Histogram{1}, 10); err == nil {
+		t.Error("accepted bad query")
+	}
+	// Oversized sample clamps to n.
+	d, err = eng.DistanceDistribution(queries[0], 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != eng.Len() {
+		t.Errorf("clamped sample %d, want %d", d.Count(), eng.Len())
+	}
+}
+
+func TestRangeIDsMatchesRange(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 120)
+	for _, q := range queries {
+		for _, eps := range []float64{0.02, 0.05, 0.1} {
+			ids, err := eng.RangeIDs(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := eng.Range(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != len(want) {
+				t.Fatalf("eps=%g: %d ids, Range finds %d", eps, len(ids), len(want))
+			}
+			wantSet := map[int]bool{}
+			for _, r := range want {
+				wantSet[r.Index] = true
+			}
+			for _, id := range ids {
+				if !wantSet[id] {
+					t.Fatalf("eps=%g: spurious id %d", eps, id)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeIDsScanMode(t *testing.T) {
+	eng, queries := buildEngine(t, Options{}, 40)
+	ids, err := eng.RangeIDs(queries[0], 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := eng.Range(queries[0], 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("scan mode: %d ids, Range finds %d", len(ids), len(want))
+	}
+}

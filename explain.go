@@ -1,0 +1,74 @@
+package emdsearch
+
+import (
+	"fmt"
+	"sort"
+
+	"emdsearch/internal/emd"
+)
+
+// FlowComponent is one mass movement of an optimal EMD flow: Mass
+// units moved from query bin From to database bin To, contributing
+// Cost = Mass * groundDistance(From, To) to the total distance.
+type FlowComponent struct {
+	From, To int
+	Mass     float64
+	Cost     float64
+}
+
+// Explanation decomposes one exact EMD into its dominant mass
+// movements — the answer to "why did these two histograms match (or
+// not)". Components are sorted by descending cost contribution;
+// zero-cost movements (mass staying in place under a zero-diagonal
+// ground distance) are omitted.
+type Explanation struct {
+	Distance   float64
+	Components []FlowComponent
+}
+
+// Explain computes the exact EMD between q and indexed item i together
+// with its optimal flow decomposition, keeping the topK costliest
+// components (0 keeps all non-zero-cost components). For multimedia
+// retrieval this names the bins — colors, tiles, spectral bands —
+// whose displacement drives the dissimilarity.
+func (e *Engine) Explain(q Histogram, i int, topK int) (*Explanation, error) {
+	if err := emd.Validate(q); err != nil {
+		return nil, fmt.Errorf("emdsearch: query: %w", err)
+	}
+	if len(q) != e.Dim() {
+		return nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	}
+	if i < 0 || i >= e.Len() {
+		return nil, fmt.Errorf("emdsearch: item %d out of range [0, %d)", i, e.Len())
+	}
+	if topK < 0 {
+		return nil, fmt.Errorf("emdsearch: topK = %d, want >= 0", topK)
+	}
+	dist, flow := e.dist.DistanceWithFlow(q, e.store.Vector(i))
+	var comps []FlowComponent
+	for from, row := range flow {
+		for to, mass := range row {
+			if mass <= 1e-12 {
+				continue
+			}
+			cost := mass * e.cost[from][to]
+			if cost <= 1e-12 {
+				continue
+			}
+			comps = append(comps, FlowComponent{From: from, To: to, Mass: mass, Cost: cost})
+		}
+	}
+	sort.Slice(comps, func(a, b int) bool {
+		if comps[a].Cost != comps[b].Cost {
+			return comps[a].Cost > comps[b].Cost
+		}
+		if comps[a].From != comps[b].From {
+			return comps[a].From < comps[b].From
+		}
+		return comps[a].To < comps[b].To
+	})
+	if topK > 0 && len(comps) > topK {
+		comps = comps[:topK]
+	}
+	return &Explanation{Distance: dist, Components: comps}, nil
+}

@@ -1,0 +1,190 @@
+package emdsearch
+
+import (
+	"image"
+	"image/color"
+	"math"
+	"testing"
+)
+
+// solidImage returns a w x h image filled with one color.
+func solidImage(w, h int, c color.RGBA) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return img
+}
+
+func TestRGBHistogramSolidColor(t *testing.T) {
+	img := solidImage(16, 16, color.RGBA{R: 255, A: 255}) // pure red
+	h, err := RGBHistogram(img, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 64 {
+		t.Fatalf("histogram length %d, want 64", len(h))
+	}
+	// All mass in the (3,0,0) bin: index (3*4+0)*4+0 = 48.
+	if h[48] < 0.999 {
+		t.Errorf("red bin holds %g of the mass", h[48])
+	}
+	// Matching positions: bin 48 is centered near (0.875, 0.125, 0.125).
+	pos, err := RGBPositions(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pos[48][0]-0.875) > 1e-12 || math.Abs(pos[48][1]-0.125) > 1e-12 {
+		t.Errorf("bin 48 position %v", pos[48])
+	}
+}
+
+func TestRGBHistogramEMDRanksColors(t *testing.T) {
+	// EMD over RGB bins must rank orange closer to red than blue is.
+	red := solidImage(8, 8, color.RGBA{R: 255, A: 255})
+	orange := solidImage(8, 8, color.RGBA{R: 255, G: 140, A: 255})
+	blue := solidImage(8, 8, color.RGBA{B: 255, A: 255})
+	cost, err := RGBCost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, _ := RGBHistogram(red, 4)
+	ho, _ := RGBHistogram(orange, 4)
+	hb, _ := RGBHistogram(blue, 4)
+	dro, err := EMD(hr, ho, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drb, err := EMD(hr, hb, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dro >= drb {
+		t.Errorf("EMD(red, orange) = %g not below EMD(red, blue) = %g", dro, drb)
+	}
+}
+
+func TestRGBHistogramValidation(t *testing.T) {
+	if _, err := RGBHistogram(nil, 4); err == nil {
+		t.Error("accepted nil image")
+	}
+	if _, err := RGBHistogram(solidImage(4, 4, color.RGBA{}), 1); err == nil {
+		t.Error("accepted bins=1")
+	}
+	if _, err := RGBHistogram(image.NewRGBA(image.Rect(0, 0, 0, 0)), 4); err == nil {
+		t.Error("accepted empty image")
+	}
+}
+
+func TestGrayHistogram(t *testing.T) {
+	black := solidImage(8, 8, color.RGBA{A: 255})
+	white := solidImage(8, 8, color.RGBA{R: 255, G: 255, B: 255, A: 255})
+	hb, err := GrayHistogram(black, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := GrayHistogram(white, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb[0] < 0.999 {
+		t.Errorf("black image mass in level 0: %g", hb[0])
+	}
+	if hw[15] < 0.999 {
+		t.Errorf("white image mass in level 15: %g", hw[15])
+	}
+	d, err := EMD(hb, hw, LinearCost(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-15) > 0.01 {
+		t.Errorf("black-to-white gray EMD %g, want ~15", d)
+	}
+	if _, err := GrayHistogram(black, 1); err == nil {
+		t.Error("accepted levels=1")
+	}
+}
+
+func TestTiledIntensityHistogram(t *testing.T) {
+	// Bright top half, dark bottom half: the top tiles carry the mass.
+	img := image.NewRGBA(image.Rect(0, 0, 16, 16))
+	for y := 0; y < 16; y++ {
+		c := color.RGBA{A: 255}
+		if y < 8 {
+			c = color.RGBA{R: 255, G: 255, B: 255, A: 255}
+		}
+		for x := 0; x < 16; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+	h, err := TiledIntensityHistogram(img, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 4 {
+		t.Fatalf("length %d, want 4", len(h))
+	}
+	if top := h[0] + h[1]; top < 0.99 {
+		t.Errorf("top tiles hold %g of the mass", top)
+	}
+	// Compatible with the grid ground distance.
+	if _, err := GridCost(2, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TiledIntensityHistogram(img, 20, 20); err == nil {
+		t.Error("accepted tiling finer than the image")
+	}
+	if _, err := TiledIntensityHistogram(nil, 2, 2); err == nil {
+		t.Error("accepted nil image")
+	}
+}
+
+// TestRealImagePipelineEndToEnd: extract features from synthetic
+// image.Image values and run an exact engine query over them.
+func TestRealImagePipelineEndToEnd(t *testing.T) {
+	cost, err := RGBCost(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(cost, Options{ReducedDims: 6, Method: KMedoids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := []color.RGBA{
+		{R: 250, A: 255}, {R: 230, G: 40, A: 255}, {R: 220, G: 20, B: 20, A: 255},
+		{B: 250, A: 255}, {G: 40, B: 230, A: 255},
+		{G: 250, A: 255}, {R: 30, G: 220, A: 255},
+	}
+	for i, c := range colors {
+		h, err := RGBHistogram(solidImage(8, 8, c), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := "red"
+		if i >= 3 {
+			label = "blue"
+		}
+		if i >= 5 {
+			label = "green"
+		}
+		eng.Add(label, h)
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := RGBHistogram(solidImage(8, 8, color.RGBA{R: 240, G: 10, B: 5, A: 255}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := eng.KNN(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if eng.Label(r.Index) != "red" {
+			t.Errorf("reddish query matched %q item %d at %g", eng.Label(r.Index), r.Index, r.Dist)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module emdsearch
+
+go 1.22

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"emdsearch/internal/emd"
+)
+
+func TestKMeansValidation(t *testing.T) {
+	pos := [][]float64{{0}, {1}, {2}}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KMeans(nil, 1, rng); err == nil {
+		t.Error("accepted empty positions")
+	}
+	if _, err := KMeans(pos, 0, rng); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := KMeans(pos, 4, rng); err == nil {
+		t.Error("accepted k>d")
+	}
+	if _, err := KMeans(pos, 2, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+	if _, err := KMeans([][]float64{{0, 1}, {2}}, 1, rng); err == nil {
+		t.Error("accepted ragged positions")
+	}
+}
+
+func TestKMeansSeparatedClusters(t *testing.T) {
+	// Two well-separated 2-D groups must be recovered for any seed.
+	pos := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{10, 10}, {10.1, 10}, {10, 10.1},
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := KMeans(pos, 2, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := res.Reduction.Assignment()
+		if a[0] != a[1] || a[1] != a[2] || a[3] != a[4] || a[4] != a[5] || a[0] == a[3] {
+			t.Fatalf("seed %d: clusters not recovered: %v", seed, a)
+		}
+		if res.Inertia > 0.1 {
+			t.Errorf("seed %d: inertia %g too high", seed, res.Inertia)
+		}
+	}
+}
+
+func TestKMeansAllGroupsNonEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		d := 4 + rng.Intn(20)
+		k := 1 + rng.Intn(d)
+		pos := make([][]float64, d)
+		for i := range pos {
+			pos[i] = []float64{rng.Float64(), rng.Float64()}
+		}
+		res, err := KMeans(pos, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g, members := range res.Reduction.Groups() {
+			if len(members) == 0 {
+				t.Fatalf("trial %d: group %d empty", trial, g)
+			}
+		}
+	}
+}
+
+func TestKMeansKEqualsD(t *testing.T) {
+	pos := emd.GridPositions(2, 3)
+	res, err := KMeans(pos, 6, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-12 {
+		t.Errorf("k=d inertia %g, want 0", res.Inertia)
+	}
+}
+
+func TestKMeansOnGridAgreesWithKMedoidsQuality(t *testing.T) {
+	// On a grid both clusterings should produce spatially coherent
+	// groups; compare their induced reduced-cost quality loosely via
+	// the k-medoids total-distance objective evaluated on both.
+	pos := emd.GridPositions(6, 4)
+	cost, err := emd.PositionCost(pos, pos, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := KMeans(pos, 4, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmed, err := BestOfRestarts(cost, 4, 5, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate k-means' partition under the medoid objective: for each
+	// group pick its best medoid.
+	var kmScore float64
+	for _, members := range km.Reduction.Groups() {
+		best := 1e18
+		for _, m := range members {
+			var s float64
+			for _, i := range members {
+				s += cost[i][m]
+			}
+			if s < best {
+				best = s
+			}
+		}
+		kmScore += best
+	}
+	if kmScore > kmed.TotalDistance*1.5+1e-9 {
+		t.Errorf("k-means partition much worse than k-medoids: %g vs %g", kmScore, kmed.TotalDistance)
+	}
+}

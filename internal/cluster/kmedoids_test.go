@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"emdsearch/internal/emd"
+)
+
+func TestKMedoidsValidation(t *testing.T) {
+	c := emd.LinearCost(4)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KMedoids(c, 0, rng); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := KMedoids(c, 5, rng); err == nil {
+		t.Error("accepted k>d")
+	}
+	if _, err := KMedoids(c, 2, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+	rect := emd.CostMatrix{{0, 1, 2}, {1, 0, 1}}
+	if _, err := KMedoids(rect, 1, rng); err == nil {
+		t.Error("accepted rectangular cost matrix")
+	}
+}
+
+func TestKMedoidsSeparatedBlocks(t *testing.T) {
+	// Two well-separated groups of dimensions: {0,1,2} mutually close,
+	// {3,4,5} mutually close, large distance across. k=2 must recover
+	// the blocks regardless of the seed.
+	const d = 6
+	c := make(emd.CostMatrix, d)
+	for i := range c {
+		c[i] = make([]float64, d)
+		for j := range c[i] {
+			if i == j {
+				continue
+			}
+			sameBlock := (i < 3) == (j < 3)
+			if sameBlock {
+				c[i][j] = 0.5
+			} else {
+				c[i][j] = 10
+			}
+		}
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := KMedoids(c, 2, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := res.Reduction.Assignment()
+		if a[0] != a[1] || a[1] != a[2] || a[3] != a[4] || a[4] != a[5] || a[0] == a[3] {
+			t.Fatalf("seed %d: blocks not recovered: %v", seed, a)
+		}
+		// Total distance: 2 non-medoids per cluster at 0.5 each.
+		if math.Abs(res.TotalDistance-2) > 1e-12 {
+			t.Errorf("seed %d: total distance %g, want 2", seed, res.TotalDistance)
+		}
+	}
+}
+
+func TestKMedoidsKEqualsD(t *testing.T) {
+	c := emd.LinearCost(5)
+	res, err := KMedoids(c, 5, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalDistance != 0 {
+		t.Errorf("k=d total distance %g, want 0", res.TotalDistance)
+	}
+	if res.Reduction.ReducedDims() != 5 {
+		t.Errorf("reduced dims %d, want 5", res.Reduction.ReducedDims())
+	}
+}
+
+func TestKMedoidsKEqualsOne(t *testing.T) {
+	c := emd.LinearCost(7)
+	res, err := KMedoids(c, 1, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal single medoid of a line is the middle: total = 3+2+1+1+2+3.
+	if math.Abs(res.TotalDistance-12) > 1e-12 {
+		t.Errorf("total distance %g, want 12", res.TotalDistance)
+	}
+	if res.Medoids[0] != 3 {
+		t.Errorf("medoid %d, want 3 (line center)", res.Medoids[0])
+	}
+}
+
+func TestKMedoidsLinearCostContiguous(t *testing.T) {
+	// On a 1-D linear ground distance, clusters of dimensions should be
+	// contiguous runs: any non-contiguous assignment could be improved.
+	c := emd.LinearCost(12)
+	res, err := BestOfRestarts(c, 3, 5, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Reduction.Assignment()
+	changes := 0
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[i-1] {
+			changes++
+		}
+	}
+	if changes != 2 {
+		t.Errorf("expected 3 contiguous runs, assignment %v has %d boundaries", a, changes)
+	}
+}
+
+func TestKMedoidsDeterministicForSeed(t *testing.T) {
+	c := emd.ModuloCost(10)
+	a, err := KMedoids(c, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMedoids(c, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Reduction.Equal(b.Reduction) {
+		t.Error("same seed produced different clusterings")
+	}
+}
+
+func TestBestOfRestartsImprovesOrMatches(t *testing.T) {
+	c := emd.ModuloCost(16)
+	rng := rand.New(rand.NewSource(13))
+	single, err := KMedoids(c, 4, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := BestOfRestarts(c, 4, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.TotalDistance > single.TotalDistance+1e-12 {
+		t.Errorf("restarts made the objective worse: %g > %g", multi.TotalDistance, single.TotalDistance)
+	}
+	if _, err := BestOfRestarts(c, 4, 0, rng); err == nil {
+		t.Error("accepted zero restarts")
+	}
+}
+
+func TestKMedoidsSwapsReduceObjective(t *testing.T) {
+	// The result's TotalDistance must equal a recomputation from its
+	// own medoids (internal consistency).
+	c := emd.ModuloCost(9)
+	res, err := KMedoids(c, 3, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int, 9)
+	recomputed := assignAll(c, res.Medoids, assign)
+	if math.Abs(recomputed-res.TotalDistance) > 1e-12 {
+		t.Errorf("reported %g, recomputed %g", res.TotalDistance, recomputed)
+	}
+	for i, g := range res.Reduction.Assignment() {
+		if g != assign[i] {
+			t.Fatalf("assignment mismatch at %d: %d vs %d", i, g, assign[i])
+		}
+	}
+}

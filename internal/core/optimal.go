@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"emdsearch/internal/emd"
+)
+
+// WorkloadQuery is one entry of the range-query workload of
+// Definition 6: a query histogram with its range threshold.
+type WorkloadQuery struct {
+	Query   emd.Histogram
+	Epsilon float64
+}
+
+// EnumeratePartitions calls fn for every partition of d elements into
+// exactly `blocks` non-empty groups, encoded as an assignment vector
+// in restricted-growth form (assign[0] = 0 and each subsequent value
+// is at most one above the running maximum — every set partition is
+// produced exactly once, without relabeled duplicates). fn must not
+// retain the slice; return false from fn to stop early. The number of
+// invocations is the Stirling number of the second kind S(d, blocks).
+func EnumeratePartitions(d, blocks int, fn func(assign []int) bool) error {
+	if d < 1 || blocks < 1 || blocks > d {
+		return fmt.Errorf("core: EnumeratePartitions(%d, %d): invalid arguments", d, blocks)
+	}
+	assign := make([]int, d)
+	var rec func(i, maxUsed int) bool
+	rec = func(i, maxUsed int) bool {
+		if i == d {
+			if maxUsed+1 == blocks {
+				return fn(assign)
+			}
+			return true
+		}
+		// Prune: the remaining elements must be able to open enough
+		// new groups.
+		if maxUsed+1+(d-i) < blocks {
+			return true
+		}
+		top := maxUsed + 1
+		if top > blocks-1 {
+			top = blocks - 1
+		}
+		for g := 0; g <= top; g++ {
+			assign[i] = g
+			nm := maxUsed
+			if g > maxUsed {
+				nm = g
+			}
+			if !rec(i+1, nm) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, -1)
+	return nil
+}
+
+// CountPartitions returns the Stirling number of the second kind
+// S(d, blocks) — the size of the search space Definition 6 ranges
+// over for one d'.
+func CountPartitions(d, blocks int) (uint64, error) {
+	if d < 1 || blocks < 1 || blocks > d {
+		return 0, fmt.Errorf("core: CountPartitions(%d, %d): invalid arguments", d, blocks)
+	}
+	// DP over S(n, k) = k*S(n-1, k) + S(n-1, k-1).
+	prev := make([]uint64, blocks+1)
+	cur := make([]uint64, blocks+1)
+	prev[0] = 1 // S(0,0) = 1
+	for n := 1; n <= d; n++ {
+		cur[0] = 0
+		for k := 1; k <= blocks && k <= n; k++ {
+			cur[k] = uint64(k)*prev[k] + prev[k-1]
+		}
+		copy(prev, cur)
+	}
+	return prev[blocks], nil
+}
+
+// OptimalReduction exhaustively solves Definition 6: among all
+// combining reductions from d to `reduced` dimensions it returns one
+// minimizing the total number of range-query candidates
+//
+//	sum_{(x, eps) in workload} |{ y in db : EMD^R_C(x, y) <= eps }|
+//
+// over the database. The search space is the Stirling number
+// S(d, reduced); maxPartitions caps it (0 means the default of
+// 200,000) so callers cannot accidentally start an astronomically
+// large enumeration — the paper notes this is infeasible beyond toy
+// sizes, which is exactly how the test suite uses it to judge the
+// heuristics. Returns the optimal reduction and its candidate count.
+func OptimalReduction(db []emd.Histogram, workload []WorkloadQuery, cost emd.CostMatrix, reduced int, maxPartitions uint64) (*Reduction, int, error) {
+	if len(db) == 0 || len(workload) == 0 {
+		return nil, 0, fmt.Errorf("core: OptimalReduction needs a database and a workload")
+	}
+	d := cost.Rows()
+	if d != cost.Cols() {
+		return nil, 0, fmt.Errorf("core: cost matrix is %dx%d, want square", cost.Rows(), cost.Cols())
+	}
+	if maxPartitions == 0 {
+		maxPartitions = 200_000
+	}
+	count, err := CountPartitions(d, reduced)
+	if err != nil {
+		return nil, 0, err
+	}
+	if count > maxPartitions {
+		return nil, 0, fmt.Errorf("core: S(%d, %d) = %d partitions exceed the cap of %d", d, reduced, count, maxPartitions)
+	}
+
+	bestCount := math.MaxInt
+	var bestAssign []int
+	var enumErr error
+	err = EnumeratePartitions(d, reduced, func(assign []int) bool {
+		r, err := NewReduction(assign, reduced)
+		if err != nil {
+			enumErr = err
+			return false
+		}
+		red, err := NewReducedEMD(cost, r, r)
+		if err != nil {
+			enumErr = err
+			return false
+		}
+		candidates := 0
+		for _, wq := range workload {
+			qr := r.Apply(wq.Query)
+			for _, y := range db {
+				if red.DistanceReduced(qr, r.Apply(y)) <= wq.Epsilon {
+					candidates++
+				}
+			}
+			if candidates >= bestCount {
+				break // cannot beat the incumbent
+			}
+		}
+		if candidates < bestCount {
+			bestCount = candidates
+			bestAssign = append(bestAssign[:0], assign...)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if enumErr != nil {
+		return nil, 0, enumErr
+	}
+	if bestAssign == nil {
+		return nil, 0, fmt.Errorf("core: no valid reduction found")
+	}
+	best, err := NewReduction(bestAssign, reduced)
+	if err != nil {
+		return nil, 0, err
+	}
+	return best, bestCount, nil
+}
+
+// CandidateCount evaluates the Definition 6 objective for one given
+// reduction: the total number of database objects whose reduced EMD to
+// each workload query is within that query's threshold.
+func CandidateCount(db []emd.Histogram, workload []WorkloadQuery, cost emd.CostMatrix, r *Reduction) (int, error) {
+	red, err := NewReducedEMD(cost, r, r)
+	if err != nil {
+		return 0, err
+	}
+	reducedDB := make([]emd.Histogram, len(db))
+	for i, y := range db {
+		reducedDB[i] = r.Apply(y)
+	}
+	candidates := 0
+	for _, wq := range workload {
+		qr := r.Apply(wq.Query)
+		for _, yr := range reducedDB {
+			if red.DistanceReduced(qr, yr) <= wq.Epsilon {
+				candidates++
+			}
+		}
+	}
+	return candidates, nil
+}

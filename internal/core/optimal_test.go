@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"emdsearch/internal/emd"
+)
+
+func TestCountPartitions(t *testing.T) {
+	cases := []struct {
+		d, k int
+		want uint64
+	}{
+		{1, 1, 1},
+		{4, 2, 7},
+		{5, 3, 25},
+		{8, 4, 1701},
+		{10, 5, 42525},
+		{6, 6, 1},
+		{6, 1, 1},
+	}
+	for _, tc := range cases {
+		got, err := CountPartitions(tc.d, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("S(%d, %d) = %d, want %d", tc.d, tc.k, got, tc.want)
+		}
+	}
+	if _, err := CountPartitions(3, 4); err == nil {
+		t.Error("accepted blocks > d")
+	}
+	if _, err := CountPartitions(0, 1); err == nil {
+		t.Error("accepted d = 0")
+	}
+}
+
+func TestEnumeratePartitionsMatchesCount(t *testing.T) {
+	for _, tc := range []struct{ d, k int }{{4, 2}, {5, 3}, {6, 4}, {7, 2}} {
+		count := 0
+		seen := map[string]bool{}
+		err := EnumeratePartitions(tc.d, tc.k, func(assign []int) bool {
+			count++
+			// Validity: restricted growth, exactly k groups.
+			maxG := -1
+			for _, g := range assign {
+				if g > maxG+1 {
+					t.Fatalf("not restricted growth: %v", assign)
+				}
+				if g > maxG {
+					maxG = g
+				}
+			}
+			if maxG+1 != tc.k {
+				t.Fatalf("partition %v has %d groups, want %d", assign, maxG+1, tc.k)
+			}
+			key := ""
+			for _, g := range assign {
+				key += string(rune('a' + g))
+			}
+			if seen[key] {
+				t.Fatalf("duplicate partition %v", assign)
+			}
+			seen[key] = true
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := CountPartitions(tc.d, tc.k)
+		if uint64(count) != want {
+			t.Errorf("enumerated %d partitions of (%d, %d), want %d", count, tc.d, tc.k, want)
+		}
+	}
+}
+
+func TestEnumeratePartitionsEarlyStop(t *testing.T) {
+	count := 0
+	err := EnumeratePartitions(6, 3, func([]int) bool {
+		count++
+		return count < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("early stop after %d calls, want 5", count)
+	}
+}
+
+// workload fixture for the Definition 6 tests.
+func optFixture(t *testing.T, d, nDB, nQ int) ([]emd.Histogram, []WorkloadQuery, emd.CostMatrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	cost := emd.CostMatrix(emdLinear(d))
+	dist, err := emd.NewDist(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := make([]emd.Histogram, nDB)
+	for i := range db {
+		db[i] = randomHistogram(rng, d)
+	}
+	workload := make([]WorkloadQuery, nQ)
+	for i := range workload {
+		q := randomHistogram(rng, d)
+		// Epsilon: the exact 3-NN distance, a realistic range radius.
+		best := []float64{1e18, 1e18, 1e18}
+		for _, y := range db {
+			dd := dist.Distance(q, y)
+			for b := 0; b < 3; b++ {
+				if dd < best[b] {
+					copy(best[b+1:], best[b:2])
+					best[b] = dd
+					break
+				}
+			}
+		}
+		workload[i] = WorkloadQuery{Query: q, Epsilon: best[2]}
+	}
+	return db, workload, cost
+}
+
+// TestOptimalReductionBeatsHeuristics: Definition 6's exhaustive
+// optimum must produce at most as many candidates as any heuristic
+// reduction — k-medoids, adjacent, random — on the same workload.
+func TestOptimalReductionBeatsHeuristics(t *testing.T) {
+	const d, dr = 7, 3
+	db, workload, cost := optFixture(t, d, 25, 3)
+	opt, optCount, err := OptimalReduction(db, workload, cost, dr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.ReducedDims() != dr {
+		t.Fatalf("optimal reduction has d'=%d", opt.ReducedDims())
+	}
+	rng := rand.New(rand.NewSource(8))
+	heuristics := map[string]*Reduction{}
+	if r, err := Adjacent(d, dr); err == nil {
+		heuristics["adjacent"] = r
+	}
+	if r, err := Random(d, dr, rng); err == nil {
+		heuristics["random"] = r
+	}
+	for name, r := range heuristics {
+		count, err := CandidateCount(db, workload, cost, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count < optCount {
+			t.Errorf("%s reduction yields %d candidates, below 'optimal' %d", name, count, optCount)
+		}
+	}
+	// The optimum's own CandidateCount must agree with the search.
+	recount, err := CandidateCount(db, workload, cost, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recount != optCount {
+		t.Errorf("recount %d != reported optimum %d", recount, optCount)
+	}
+	// Every workload query matches at least its 3 true neighbors
+	// (lower bound property: true range results always pass).
+	if optCount < 3*len(workload) {
+		t.Errorf("optimum %d below the guaranteed minimum %d", optCount, 3*len(workload))
+	}
+}
+
+func TestOptimalReductionValidation(t *testing.T) {
+	db, workload, cost := optFixture(t, 6, 10, 1)
+	if _, _, err := OptimalReduction(nil, workload, cost, 2, 0); err == nil {
+		t.Error("accepted empty database")
+	}
+	if _, _, err := OptimalReduction(db, nil, cost, 2, 0); err == nil {
+		t.Error("accepted empty workload")
+	}
+	// Cap: S(6,3) = 90 > 10.
+	if _, _, err := OptimalReduction(db, workload, cost, 3, 10); err == nil {
+		t.Error("accepted enumeration beyond the cap")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"emdsearch/internal/emd"
+)
+
+// TestQuickUpperBound: the max-cost reduced EMD never underestimates
+// the original EMD, for random histograms, costs and reductions.
+func TestQuickUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 3 + rng.Intn(8)
+		d1 := 1 + rng.Intn(d)
+		d2 := 1 + rng.Intn(d)
+		c := randomCost(rng, d)
+		r1, err := Random(d, d1, rng)
+		if err != nil {
+			return false
+		}
+		r2, err := Random(d, d2, rng)
+		if err != nil {
+			return false
+		}
+		upper, err := NewReducedEMDUpper(emd.CostMatrix(c), r1, r2)
+		if err != nil {
+			return false
+		}
+		x := randomHistogram(rng, d)
+		y := randomHistogram(rng, d)
+		orig, err := emd.Distance(x, y, emd.CostMatrix(c))
+		if err != nil {
+			return false
+		}
+		return upper.Distance(x, y) >= orig-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEnvelopeOrdering: lower <= exact <= upper for the coupled
+// bounds.
+func TestQuickEnvelopeOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 4 + rng.Intn(6)
+		dr := 1 + rng.Intn(d)
+		c := randomCost(rng, d)
+		r, err := Random(d, dr, rng)
+		if err != nil {
+			return false
+		}
+		env, err := NewEnvelope(emd.CostMatrix(c), r, r)
+		if err != nil {
+			return false
+		}
+		x := randomHistogram(rng, d)
+		y := randomHistogram(rng, d)
+		exact, err := emd.Distance(x, y, emd.CostMatrix(c))
+		if err != nil {
+			return false
+		}
+		lo, hi := env.Bounds(x, y)
+		return lo <= exact+1e-9 && exact <= hi+1e-9 && lo <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperCostEntries(t *testing.T) {
+	c := emd.CostMatrix{
+		{0, 1, 3, 4},
+		{1, 0, 2, 3},
+		{3, 2, 0, 1},
+		{4, 3, 1, 0},
+	}
+	r, _ := NewReduction([]int{0, 0, 1, 1}, 2)
+	got, err := UpperCost(c, r, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max within {0,1}x{0,1} is 1; across {0,1}x{2,3} is 4.
+	want := emd.CostMatrix{{1, 4}, {4, 1}}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("UpperCost = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestUpperIdentityIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const d = 8
+	c := emd.CostMatrix(emdLinear(d))
+	r := Identity(d)
+	upper, err := NewReducedEMDUpper(c, r, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		x := randomHistogram(rng, d)
+		y := randomHistogram(rng, d)
+		exact, err := emd.Distance(x, y, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := upper.Distance(x, y); math.Abs(got-exact) > 1e-9 {
+			t.Fatalf("identity upper bound %g != exact %g", got, exact)
+		}
+	}
+}
+
+func TestUpperCostValidation(t *testing.T) {
+	c := emd.CostMatrix(emdLinear(4))
+	r3 := Identity(3)
+	r4 := Identity(4)
+	if _, err := UpperCost(c, r3, r4); err == nil {
+		t.Error("accepted mismatched source reduction")
+	}
+	if _, err := UpperCost(c, r4, r3); err == nil {
+		t.Error("accepted mismatched target reduction")
+	}
+}
+
+// TestEnvelopeTightensWithDims: both ends of the interval approach the
+// exact EMD as d' grows on an Adjacent reduction.
+func TestEnvelopeTightensWithDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	const d = 16
+	c := emd.CostMatrix(emdLinear(d))
+	x := randomHistogram(rng, d)
+	y := randomHistogram(rng, d)
+	exact, err := emd.Distance(x, y, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevWidth := math.Inf(1)
+	for _, dr := range []int{2, 4, 8, 16} {
+		r, err := Adjacent(d, dr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := NewEnvelope(c, r, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := env.Bounds(x, y)
+		if lo > exact+1e-9 || hi < exact-1e-9 {
+			t.Fatalf("d'=%d: interval [%g, %g] misses exact %g", dr, lo, hi, exact)
+		}
+		width := hi - lo
+		if width > prevWidth+1e-9 {
+			t.Fatalf("d'=%d: interval widened from %g to %g", dr, prevWidth, width)
+		}
+		prevWidth = width
+	}
+	if prevWidth > 1e-9 {
+		t.Errorf("identity envelope width %g, want 0", prevWidth)
+	}
+}

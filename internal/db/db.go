@@ -1,0 +1,172 @@
+// Package db provides the in-memory histogram database used by the
+// search layer: original feature vectors plus precomputed reduced
+// representations for any number of registered reductions, with binary
+// persistence. Precomputing the reduced database vectors once is what
+// makes the reduced-EMD filters cheap at query time (the paper's
+// Figure 10 setup applies R2 to the database offline and only R1 to the
+// query online).
+package db
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"emdsearch/internal/core"
+	"emdsearch/internal/emd"
+)
+
+// Item is one database object: a feature histogram plus an optional
+// application label (the synthetic generators store the class here).
+type Item struct {
+	ID     int
+	Label  string
+	Vector emd.Histogram
+}
+
+// Database stores items of one fixed dimensionality along with reduced
+// representations per registered reduction.
+type Database struct {
+	dim     int
+	items   []Item
+	reduced map[string][]emd.Histogram
+	reds    map[string]*core.Reduction
+}
+
+// New creates an empty database for dim-dimensional histograms.
+func New(dim int) (*Database, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("db: dimensionality %d, want >= 1", dim)
+	}
+	return &Database{
+		dim:     dim,
+		reduced: make(map[string][]emd.Histogram),
+		reds:    make(map[string]*core.Reduction),
+	}, nil
+}
+
+// Add validates and appends a histogram, returning its index. Adding
+// invalidates no existing reduced vectors: the new item is reduced
+// under every registered reduction immediately.
+func (d *Database) Add(label string, h emd.Histogram) (int, error) {
+	if len(h) != d.dim {
+		return 0, fmt.Errorf("db: histogram has %d dimensions, database stores %d", len(h), d.dim)
+	}
+	if err := emd.Validate(h); err != nil {
+		return 0, err
+	}
+	id := len(d.items)
+	d.items = append(d.items, Item{ID: id, Label: label, Vector: h})
+	for name, r := range d.reds {
+		d.reduced[name] = append(d.reduced[name], r.Apply(h))
+	}
+	return id, nil
+}
+
+// Len returns the number of stored items.
+func (d *Database) Len() int { return len(d.items) }
+
+// Dim returns the histogram dimensionality.
+func (d *Database) Dim() int { return d.dim }
+
+// Item returns the i-th item.
+func (d *Database) Item(i int) Item { return d.items[i] }
+
+// Vector returns the i-th original histogram.
+func (d *Database) Vector(i int) emd.Histogram { return d.items[i].Vector }
+
+// Vectors returns all original histograms (shared, not copied).
+func (d *Database) Vectors() []emd.Histogram {
+	out := make([]emd.Histogram, len(d.items))
+	for i := range d.items {
+		out[i] = d.items[i].Vector
+	}
+	return out
+}
+
+// Precompute registers reduction r under the given name and stores the
+// reduced representation of every current and future item.
+func (d *Database) Precompute(name string, r *core.Reduction) error {
+	if r.OriginalDims() != d.dim {
+		return fmt.Errorf("db: reduction expects %d dimensions, database stores %d", r.OriginalDims(), d.dim)
+	}
+	if _, exists := d.reds[name]; exists {
+		return fmt.Errorf("db: reduction %q already registered", name)
+	}
+	vecs := make([]emd.Histogram, len(d.items))
+	for i := range d.items {
+		vecs[i] = r.Apply(d.items[i].Vector)
+	}
+	d.reds[name] = r.Clone()
+	d.reduced[name] = vecs
+	return nil
+}
+
+// Reduced returns the precomputed reduced vectors registered under
+// name.
+func (d *Database) Reduced(name string) ([]emd.Histogram, bool) {
+	v, ok := d.reduced[name]
+	return v, ok
+}
+
+// Reduction returns the reduction registered under name.
+func (d *Database) Reduction(name string) (*core.Reduction, bool) {
+	r, ok := d.reds[name]
+	return r, ok
+}
+
+// snapshot is the gob wire format.
+type snapshot struct {
+	Dim        int
+	Items      []Item
+	Reductions map[string]snapshotReduction
+}
+
+type snapshotReduction struct {
+	Assign  []int
+	Reduced int
+}
+
+// Save writes the database (items and registered reductions; reduced
+// vectors are recomputed on load) to w.
+func (d *Database) Save(w io.Writer) error {
+	snap := snapshot{
+		Dim:        d.dim,
+		Items:      d.items,
+		Reductions: make(map[string]snapshotReduction, len(d.reds)),
+	}
+	for name, r := range d.reds {
+		snap.Reductions[name] = snapshotReduction{Assign: r.Assignment(), Reduced: r.ReducedDims()}
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("db: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*Database, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("db: load: %w", err)
+	}
+	d, err := New(snap.Dim)
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range snap.Items {
+		if _, err := d.Add(item.Label, item.Vector); err != nil {
+			return nil, fmt.Errorf("db: load item %d: %w", item.ID, err)
+		}
+	}
+	for name, sr := range snap.Reductions {
+		red, err := core.NewReduction(sr.Assign, sr.Reduced)
+		if err != nil {
+			return nil, fmt.Errorf("db: load reduction %q: %w", name, err)
+		}
+		if err := d.Precompute(name, red); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,77 @@
+package emd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// PairwiseDistances computes the symmetric distance matrix of the
+// given histograms under d, using up to workers goroutines (0 means
+// GOMAXPROCS). For a symmetric ground distance each unordered pair is
+// solved once. This is the building block for offline analyses —
+// VP-tree construction, clustering of objects, distance-distribution
+// studies — where the quadratic EMD bill dominates and parallelism is
+// free.
+func PairwiseDistances(hists []Histogram, d *Dist, workers int) ([][]float64, error) {
+	n := len(hists)
+	if n == 0 {
+		return nil, fmt.Errorf("emd: PairwiseDistances on empty input")
+	}
+	rows, cols := d.Dims()
+	if rows != cols {
+		return nil, fmt.Errorf("emd: PairwiseDistances needs a square ground distance, got %dx%d", rows, cols)
+	}
+	for i, h := range hists {
+		if len(h) != rows {
+			return nil, fmt.Errorf("emd: histogram %d has %d dimensions, want %d", i, len(h), rows)
+		}
+		if err := Validate(h); err != nil {
+			return nil, fmt.Errorf("emd: histogram %d: %w", i, err)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	symmetric := d.Cost().IsSymmetric()
+
+	out := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range out {
+		out[i] = backing[i*n : (i+1)*n : (i+1)*n]
+	}
+
+	// Work unit: one row i, computing cells j > i (symmetric) or all
+	// j != i (asymmetric). Rows are handed out via a channel so long
+	// rows at small i (symmetric case) balance naturally.
+	rowCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rowCh {
+				if symmetric {
+					for j := i + 1; j < n; j++ {
+						v := d.Distance(hists[i], hists[j])
+						out[i][j] = v
+						out[j][i] = v
+					}
+				} else {
+					for j := 0; j < n; j++ {
+						if j == i {
+							continue
+						}
+						out[i][j] = d.Distance(hists[i], hists[j])
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		rowCh <- i
+	}
+	close(rowCh)
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package emd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPairwiseDistancesMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const d, n = 8, 20
+	dist, err := NewDist(LinearCost(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hists := make([]Histogram, n)
+	for i := range hists {
+		hists[i] = randomHistogram(rng, d)
+	}
+	got, err := PairwiseDistances(hists, dist, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got[i][i] != 0 {
+			t.Fatalf("diagonal (%d,%d) = %g", i, i, got[i][i])
+		}
+		for j := 0; j < n; j++ {
+			want := dist.Distance(hists[i], hists[j])
+			if i == j {
+				want = 0
+			}
+			if math.Abs(got[i][j]-want) > 1e-9 {
+				t.Fatalf("(%d,%d) = %g, want %g", i, j, got[i][j], want)
+			}
+			if math.Abs(got[i][j]-got[j][i]) > 1e-12 {
+				t.Fatalf("matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPairwiseDistancesAsymmetricCost(t *testing.T) {
+	// An asymmetric (but valid) ground distance: moving right is twice
+	// as expensive as moving left.
+	const d = 4
+	c := make(CostMatrix, d)
+	for i := range c {
+		c[i] = make([]float64, d)
+		for j := range c[i] {
+			if j > i {
+				c[i][j] = 2 * float64(j-i)
+			} else {
+				c[i][j] = float64(i - j)
+			}
+		}
+	}
+	dist, err := NewDist(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hists := []Histogram{
+		{1, 0, 0, 0},
+		{0, 0, 0, 1},
+		{0.25, 0.25, 0.25, 0.25},
+	}
+	m, err := PairwiseDistances(hists, dist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moving all mass right 3 steps costs 6; left costs 3.
+	if math.Abs(m[0][1]-6) > 1e-9 || math.Abs(m[1][0]-3) > 1e-9 {
+		t.Fatalf("asymmetric distances: %g / %g, want 6 / 3", m[0][1], m[1][0])
+	}
+}
+
+func TestPairwiseDistancesValidation(t *testing.T) {
+	dist, _ := NewDist(LinearCost(3))
+	if _, err := PairwiseDistances(nil, dist, 1); err == nil {
+		t.Error("accepted empty input")
+	}
+	if _, err := PairwiseDistances([]Histogram{{0.5, 0.5}}, dist, 1); err == nil {
+		t.Error("accepted wrong dimensionality")
+	}
+	if _, err := PairwiseDistances([]Histogram{{2, 0, 0}}, dist, 1); err == nil {
+		t.Error("accepted unnormalized histogram")
+	}
+}
+
+func TestPairwiseDistancesDefaultWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dist, _ := NewDist(LinearCost(5))
+	hists := []Histogram{randomHistogram(rng, 5), randomHistogram(rng, 5)}
+	m, err := PairwiseDistances(hists, dist, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("matrix size %d", len(m))
+	}
+}

@@ -1,0 +1,103 @@
+package emd
+
+import (
+	"fmt"
+	"math"
+
+	"emdsearch/internal/transport"
+	"emdsearch/internal/vecmath"
+)
+
+// validatePartial checks a histogram for the unequal-mass variants:
+// non-negative finite entries with positive total mass (normalization
+// is not required).
+func validatePartial(h Histogram) (float64, error) {
+	if len(h) == 0 {
+		return 0, fmt.Errorf("emd: empty histogram")
+	}
+	for i, v := range h {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("emd: invalid histogram entry [%d] = %g", i, v)
+		}
+	}
+	mass := vecmath.Sum(h)
+	if mass <= 0 {
+		return 0, fmt.Errorf("emd: histogram has no mass")
+	}
+	return mass, nil
+}
+
+// PartialDistance computes the partial Earth Mover's Distance between
+// two non-negative histograms of possibly different total mass: the
+// minimal cost of transporting the *smaller* of the two masses, with
+// the surplus on the heavier side left in place for free. This is the
+// classic unequal-weights EMD of Rubner et al. (without their
+// normalization by total flow; divide by min(mass) for that form).
+// Internally a zero-cost slack bin absorbs the surplus, so the same
+// exact solvers apply.
+func PartialDistance(x, y Histogram, c CostMatrix) (float64, error) {
+	massX, err := validatePartial(x)
+	if err != nil {
+		return 0, fmt.Errorf("emd: source: %w", err)
+	}
+	massY, err := validatePartial(y)
+	if err != nil {
+		return 0, fmt.Errorf("emd: target: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if c.Rows() != len(x) || c.Cols() != len(y) {
+		return 0, fmt.Errorf("emd: cost matrix is %dx%d, histograms are %d and %d dimensional",
+			c.Rows(), c.Cols(), len(x), len(y))
+	}
+
+	diff := massX - massY
+	supply := x
+	demand := y
+	cost := [][]float64(c)
+	switch {
+	case diff > 0:
+		// Slack demand bin absorbs the source surplus at zero cost.
+		demand = append(vecmath.Clone(y), diff)
+		cost = make([][]float64, len(x))
+		for i, row := range c {
+			cost[i] = append(vecmath.Clone(row), 0)
+		}
+	case diff < 0:
+		// Slack supply bin provides the missing mass at zero cost.
+		supply = append(vecmath.Clone(x), -diff)
+		cost = make([][]float64, len(x)+1)
+		for i, row := range c {
+			cost[i] = row
+		}
+		cost[len(x)] = make([]float64, len(y))
+	}
+	sol, err := transport.Solve(transport.Problem{Supply: supply, Demand: demand, Cost: cost})
+	if err != nil {
+		return 0, err
+	}
+	return sol.Objective, nil
+}
+
+// PenalizedDistance computes the EMD-hat style unequal-mass distance:
+// the partial EMD plus a per-unit penalty for the unmatched surplus
+// mass,
+//
+//	EMDhat(x, y) = PartialDistance(x, y) + penalty * |mass(x) - mass(y)|
+//
+// For penalty >= max(c)/2 with a metric ground distance this is known
+// to be a metric on non-negative histograms, making it suitable for
+// metric indexing of unnormalized data.
+func PenalizedDistance(x, y Histogram, c CostMatrix, penalty float64) (float64, error) {
+	if penalty < 0 || math.IsNaN(penalty) || math.IsInf(penalty, 0) {
+		return 0, fmt.Errorf("emd: invalid penalty %g", penalty)
+	}
+	partial, err := PartialDistance(x, y, c)
+	if err != nil {
+		return 0, err
+	}
+	massX := vecmath.Sum(x)
+	massY := vecmath.Sum(y)
+	return partial + penalty*math.Abs(massX-massY), nil
+}

@@ -1,0 +1,146 @@
+package emd
+
+import (
+	"fmt"
+	"math"
+
+	"emdsearch/internal/transport"
+	"emdsearch/internal/vecmath"
+)
+
+// Signature is the sparse representation the EMD was originally
+// defined over in computer vision (Rubner et al.): a variable-length
+// set of feature-space cluster centers with non-negative weights.
+// Signatures of different sizes compare directly — the ground distance
+// is computed between their positions on the fly, so no common binning
+// is needed. Histograms are the special case of a fixed, shared
+// position set.
+type Signature struct {
+	// Positions holds one feature-space coordinate vector per cluster.
+	Positions [][]float64
+	// Weights holds the non-negative mass of each cluster.
+	Weights []float64
+}
+
+// Validate checks structural consistency and returns the total mass.
+func (s Signature) Validate() (float64, error) {
+	if len(s.Positions) == 0 {
+		return 0, fmt.Errorf("emd: empty signature")
+	}
+	if len(s.Positions) != len(s.Weights) {
+		return 0, fmt.Errorf("emd: signature has %d positions but %d weights", len(s.Positions), len(s.Weights))
+	}
+	dim := len(s.Positions[0])
+	for i, p := range s.Positions {
+		if len(p) != dim {
+			return 0, fmt.Errorf("emd: signature position %d has %d coordinates, want %d", i, len(p), dim)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("emd: invalid coordinate in signature position %d", i)
+			}
+		}
+	}
+	var mass float64
+	for i, w := range s.Weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return 0, fmt.Errorf("emd: invalid signature weight [%d] = %g", i, w)
+		}
+		mass += w
+	}
+	if mass <= 0 {
+		return 0, fmt.Errorf("emd: signature has no mass")
+	}
+	return mass, nil
+}
+
+// Dim returns the feature-space dimensionality of the signature.
+func (s Signature) Dim() int {
+	if len(s.Positions) == 0 {
+		return 0
+	}
+	return len(s.Positions[0])
+}
+
+// SignatureDistance computes the EMD between two signatures under the
+// Lp ground distance between their cluster positions. Total masses
+// must agree up to transport.MassTolerance (normalize the weights
+// first, or use PartialSignatureDistance for unequal masses).
+func SignatureDistance(a, b Signature, p float64) (float64, error) {
+	massA, err := a.Validate()
+	if err != nil {
+		return 0, fmt.Errorf("emd: signature a: %w", err)
+	}
+	massB, err := b.Validate()
+	if err != nil {
+		return 0, fmt.Errorf("emd: signature b: %w", err)
+	}
+	if a.Dim() != b.Dim() {
+		return 0, fmt.Errorf("emd: signatures live in %d- and %d-dimensional feature spaces", a.Dim(), b.Dim())
+	}
+	if scale := math.Max(massA, massB); math.Abs(massA-massB)/scale > transport.MassTolerance {
+		return 0, fmt.Errorf("emd: signature masses %g and %g differ; normalize or use PartialSignatureDistance", massA, massB)
+	}
+	cost, err := PositionCost(a.Positions, b.Positions, p)
+	if err != nil {
+		return 0, err
+	}
+	sol, err := transport.Solve(transport.Problem{Supply: a.Weights, Demand: b.Weights, Cost: cost})
+	if err != nil {
+		return 0, err
+	}
+	return sol.Objective, nil
+}
+
+// PartialSignatureDistance computes the unequal-mass (partial) EMD
+// between two signatures: the cheaper transport of the smaller total
+// mass, with surplus mass free.
+func PartialSignatureDistance(a, b Signature, p float64) (float64, error) {
+	if _, err := a.Validate(); err != nil {
+		return 0, fmt.Errorf("emd: signature a: %w", err)
+	}
+	if _, err := b.Validate(); err != nil {
+		return 0, fmt.Errorf("emd: signature b: %w", err)
+	}
+	if a.Dim() != b.Dim() {
+		return 0, fmt.Errorf("emd: signatures live in %d- and %d-dimensional feature spaces", a.Dim(), b.Dim())
+	}
+	cost, err := PositionCost(a.Positions, b.Positions, p)
+	if err != nil {
+		return 0, err
+	}
+	return PartialDistance(a.Weights, b.Weights, cost)
+}
+
+// NormalizeSignature returns a copy of s with weights scaled to total
+// mass one.
+func NormalizeSignature(s Signature) Signature {
+	return Signature{
+		Positions: s.Positions,
+		Weights:   vecmath.Normalize(vecmath.Clone(s.Weights)),
+	}
+}
+
+// HistogramSignature converts a histogram over known bin positions
+// into a sparse signature, dropping zero-weight bins. The EMD between
+// the resulting signatures equals the histogram EMD under the same
+// positional ground distance, but for sparse histograms the
+// transportation problem shrinks to the occupied bins — often a large
+// constant-factor win.
+func HistogramSignature(h Histogram, positions [][]float64) (Signature, error) {
+	if len(h) != len(positions) {
+		return Signature{}, fmt.Errorf("emd: histogram has %d bins, %d positions given", len(h), len(positions))
+	}
+	var s Signature
+	for i, w := range h {
+		if w <= 0 {
+			continue
+		}
+		s.Positions = append(s.Positions, positions[i])
+		s.Weights = append(s.Weights, w)
+	}
+	if len(s.Weights) == 0 {
+		return Signature{}, fmt.Errorf("emd: histogram has no positive mass")
+	}
+	return s, nil
+}

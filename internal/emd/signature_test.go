@@ -1,0 +1,157 @@
+package emd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSignatureValidate(t *testing.T) {
+	good := Signature{
+		Positions: [][]float64{{0, 0}, {1, 1}},
+		Weights:   []float64{0.5, 0.5},
+	}
+	if _, err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		s    Signature
+	}{
+		{"empty", Signature{}},
+		{"length mismatch", Signature{Positions: [][]float64{{0}}, Weights: []float64{1, 2}}},
+		{"ragged positions", Signature{Positions: [][]float64{{0, 1}, {2}}, Weights: []float64{1, 1}}},
+		{"negative weight", Signature{Positions: [][]float64{{0}, {1}}, Weights: []float64{-1, 2}}},
+		{"zero mass", Signature{Positions: [][]float64{{0}}, Weights: []float64{0}}},
+		{"nan coordinate", Signature{Positions: [][]float64{{math.NaN()}}, Weights: []float64{1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.s.Validate(); err == nil {
+				t.Fatalf("accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestSignatureDistancePointMasses(t *testing.T) {
+	a := Signature{Positions: [][]float64{{0, 0}}, Weights: []float64{1}}
+	b := Signature{Positions: [][]float64{{3, 4}}, Weights: []float64{1}}
+	got, err := SignatureDistance(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5) > 1e-12 {
+		t.Errorf("point-mass EMD = %g, want 5", got)
+	}
+}
+
+func TestSignatureDistanceDifferentSizes(t *testing.T) {
+	// One cluster of mass 1 vs two clusters of mass 0.5 each, one of
+	// them at the same place: only 0.5 moves distance 2.
+	a := Signature{Positions: [][]float64{{0}}, Weights: []float64{1}}
+	b := Signature{Positions: [][]float64{{0}, {2}}, Weights: []float64{0.5, 0.5}}
+	got, err := SignatureDistance(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("EMD = %g, want 1", got)
+	}
+}
+
+func TestSignatureDistanceErrors(t *testing.T) {
+	a := Signature{Positions: [][]float64{{0}}, Weights: []float64{1}}
+	b2 := Signature{Positions: [][]float64{{0, 1}}, Weights: []float64{1}}
+	if _, err := SignatureDistance(a, b2, 2); err == nil {
+		t.Error("accepted mismatched feature dimensionality")
+	}
+	heavy := Signature{Positions: [][]float64{{1}}, Weights: []float64{2}}
+	if _, err := SignatureDistance(a, heavy, 2); err == nil {
+		t.Error("accepted unequal masses")
+	}
+	if _, err := PartialSignatureDistance(a, heavy, 2); err != nil {
+		t.Errorf("partial rejected unequal masses: %v", err)
+	}
+}
+
+func TestPartialSignatureDistance(t *testing.T) {
+	a := Signature{Positions: [][]float64{{0}}, Weights: []float64{2}}
+	b := Signature{Positions: [][]float64{{3}}, Weights: []float64{1}}
+	got, err := PartialSignatureDistance(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One unit moves distance 3; the surplus unit is free.
+	if math.Abs(got-3) > 1e-12 {
+		t.Errorf("partial signature EMD = %g, want 3", got)
+	}
+}
+
+func TestNormalizeSignature(t *testing.T) {
+	s := NormalizeSignature(Signature{
+		Positions: [][]float64{{0}, {1}},
+		Weights:   []float64{2, 6},
+	})
+	if s.Weights[0] != 0.25 || s.Weights[1] != 0.75 {
+		t.Errorf("normalized weights = %v", s.Weights)
+	}
+}
+
+// TestHistogramSignatureEquivalence: converting sparse histograms to
+// signatures must preserve the EMD exactly while shrinking the
+// problem.
+func TestHistogramSignatureEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const d = 20
+	positions := make([][]float64, d)
+	for i := range positions {
+		positions[i] = []float64{float64(i)}
+	}
+	cost, err := PositionCost(positions, positions, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 15; trial++ {
+		// Sparse histograms: ~4 occupied bins each.
+		x := make(Histogram, d)
+		y := make(Histogram, d)
+		for k := 0; k < 4; k++ {
+			x[rng.Intn(d)] += rng.Float64()
+			y[rng.Intn(d)] += rng.Float64()
+		}
+		x = Normalize(x)
+		y = Normalize(y)
+		full, err := Distance(x, y, cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sx, err := HistogramSignature(x, positions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sy, err := HistogramSignature(y, positions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sx.Weights) >= d {
+			t.Fatalf("signature not sparse: %d clusters", len(sx.Weights))
+		}
+		sparse, err := SignatureDistance(sx, sy, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(full-sparse) > 1e-9 {
+			t.Fatalf("trial %d: histogram EMD %g != signature EMD %g", trial, full, sparse)
+		}
+	}
+}
+
+func TestHistogramSignatureErrors(t *testing.T) {
+	if _, err := HistogramSignature(Histogram{1, 0}, [][]float64{{0}}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := HistogramSignature(Histogram{0, 0}, [][]float64{{0}, {1}}); err == nil {
+		t.Error("accepted zero-mass histogram")
+	}
+}

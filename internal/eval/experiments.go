@@ -1,0 +1,579 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"emdsearch/internal/core"
+	"emdsearch/internal/data"
+	"emdsearch/internal/emd"
+	"emdsearch/internal/flowred"
+	"emdsearch/internal/pca"
+	"emdsearch/internal/search"
+)
+
+// Config sets the scale of the experiments. FullConfig approximates
+// the paper's setup; QuickConfig is the scaled-down variant used by
+// the in-repo benchmarks so a full `go test -bench=.` stays tractable.
+type Config struct {
+	RetinaN int
+	IRMAN   int
+	ColorN  int
+	Queries int
+	K       int
+	// SampleSize is the database sample |S| for flow collection.
+	SampleSize int
+	// DPrimes is the reduced-dimensionality sweep of Fig13/Fig14/Tab2.
+	DPrimes []int
+	// ChainDPrime is the d' used by the pipeline-comparison
+	// experiments (the sweet spot identified by Fig14).
+	ChainDPrime int
+	// CheckRecall verifies every pipeline against the exact answer
+	// (expensive: one exhaustive scan per query).
+	CheckRecall bool
+	// TightPairs bounds the pairs used for tightness measurements.
+	TightPairs int
+	Seed       int64
+}
+
+// FullConfig is the paper-scale setup: the RETINA corpus at its
+// original size (3,932 objects, 96 dimensions). The IRMA corpus is
+// generated at 2,000 of the paper's 10,000 objects to keep the full
+// run under an hour on one machine; the shape statements in
+// EXPERIMENTS.md are unaffected by this scaling.
+func FullConfig() Config {
+	return Config{
+		RetinaN:     3932,
+		IRMAN:       2000,
+		ColorN:      4000,
+		Queries:     20,
+		K:           10,
+		SampleSize:  64,
+		DPrimes:     []int{2, 4, 8, 12, 16, 24, 32, 48, 64},
+		ChainDPrime: 16,
+		CheckRecall: false,
+		TightPairs:  200,
+		Seed:        1,
+	}
+}
+
+// QuickConfig is the benchmark-scale setup.
+func QuickConfig() Config {
+	return Config{
+		RetinaN:     300,
+		IRMAN:       150,
+		ColorN:      400,
+		Queries:     4,
+		K:           5,
+		SampleSize:  32,
+		DPrimes:     []int{4, 8, 16},
+		ChainDPrime: 16,
+		CheckRecall: true,
+		TightPairs:  40,
+		Seed:        1,
+	}
+}
+
+// workload bundles one prepared corpus.
+type workload struct {
+	name    string
+	vectors []emd.Histogram
+	queries []emd.Histogram
+	cost    emd.CostMatrix
+}
+
+func (c Config) retina() (*workload, error) {
+	ds, err := data.Retina(c.RetinaN+c.Queries, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	vecs, queries, err := ds.Split(c.Queries)
+	if err != nil {
+		return nil, err
+	}
+	return &workload{name: ds.Name, vectors: vecs, queries: queries, cost: ds.Cost}, nil
+}
+
+func (c Config) irma() (*workload, error) {
+	ds, err := data.IRMA(c.IRMAN+c.Queries, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	vecs, queries, err := ds.Split(c.Queries)
+	if err != nil {
+		return nil, err
+	}
+	return &workload{name: ds.Name, vectors: vecs, queries: queries, cost: ds.Cost}, nil
+}
+
+func (c Config) color(n int) (*workload, error) {
+	ds, err := data.ColorImages(n+c.Queries, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	vecs, queries, err := ds.Split(c.Queries)
+	if err != nil {
+		return nil, err
+	}
+	return &workload{name: ds.Name, vectors: vecs, queries: queries, cost: ds.Cost}, nil
+}
+
+// reference computes exact answers if recall checking is on.
+func (c Config) reference(w *workload) ([][]search.Result, error) {
+	if !c.CheckRecall {
+		return nil, nil
+	}
+	return ExactKNN(w.vectors, w.cost, w.queries, c.K)
+}
+
+// methodSweep builds all reduction methods for every d' and runs the
+// given per-(method, d', reduction) callback.
+func (c Config) methodSweep(w *workload, fn func(m Method, dPrime int, red *core.Reduction, bs *BuildStats) error) error {
+	builder, err := NewBuilder(w.cost, sampleOf(w.vectors, c.SampleSize, c.Seed), c.Seed)
+	if err != nil {
+		return err
+	}
+	for _, dPrime := range c.DPrimes {
+		if dPrime >= len(w.vectors[0]) {
+			continue
+		}
+		for _, m := range AllMethods() {
+			red, bs, err := builder.Build(m, dPrime)
+			if err != nil {
+				return err
+			}
+			if err := fn(m, dPrime, red, bs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sampleOf(vectors []emd.Histogram, n int, seed int64) []emd.Histogram {
+	rng := newRand(seed)
+	return flowred.Sample(vectors, n, rng)
+}
+
+// Fig13 — avg. number of refinements (candidate set size) vs reduced
+// dimensionality d' for every reduction method, Red-EMD filter
+// pipeline, RETINA-sim corpus, k-NN workload.
+func Fig13(c Config) (*Table, error) {
+	w, err := c.retina()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := c.reference(w)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig13: avg refinements vs d' (%s, n=%d, %d-NN, %d queries)", w.name, len(w.vectors), c.K, c.Queries),
+		Columns: append([]string{"d'"}, methodNames()...),
+	}
+	results := map[int]map[Method]float64{}
+	err = c.methodSweep(w, func(m Method, dPrime int, red *core.Reduction, _ *BuildStats) error {
+		s, err := NewSearcher(PipelineRedEMD, w.vectors, w.cost, red)
+		if err != nil {
+			return err
+		}
+		run, err := RunKNN(s, w.queries, c.K, ref)
+		if err != nil {
+			return err
+		}
+		if run.Recall < 1 {
+			return fmt.Errorf("eval: Fig13 %s d'=%d: recall %.3f < 1 (completeness violated)", m, dPrime, run.Recall)
+		}
+		if results[dPrime] == nil {
+			results[dPrime] = map[Method]float64{}
+		}
+		results[dPrime][m] = run.AvgRefinements
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fillSweepRows(t, results, c.DPrimes)
+	t.Notes = append(t.Notes, sweepWinners(results, c.DPrimes, false))
+	return t, nil
+}
+
+// Fig14 — avg total query time vs d' for every reduction method,
+// Red-EMD pipeline (filter cost grows with d', refinement cost
+// shrinks: the total is U-shaped, demonstrating why flexible d'
+// matters).
+func Fig14(c Config) (*Table, error) {
+	w, err := c.retina()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig14: avg query time [ms] vs d' (%s, n=%d, %d-NN)", w.name, len(w.vectors), c.K),
+		Columns: append([]string{"d'"}, methodNames()...),
+	}
+	results := map[int]map[Method]float64{}
+	err = c.methodSweep(w, func(m Method, dPrime int, red *core.Reduction, _ *BuildStats) error {
+		s, err := NewSearcher(PipelineRedEMD, w.vectors, w.cost, red)
+		if err != nil {
+			return err
+		}
+		run, err := RunKNN(s, w.queries, c.K, nil)
+		if err != nil {
+			return err
+		}
+		if results[dPrime] == nil {
+			results[dPrime] = map[Method]float64{}
+		}
+		results[dPrime][m] = float64(run.AvgQueryTime.Microseconds()) / 1000.0
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fillSweepRows(t, results, c.DPrimes)
+	t.Notes = append(t.Notes, sweepWinners(results, c.DPrimes, false))
+	return t, nil
+}
+
+// pipelineComparison implements Fig15/Fig16: all pipelines on one
+// corpus at the chain d'.
+func (c Config) pipelineComparison(title string, w *workload) (*Table, error) {
+	ref, err := c.reference(w)
+	if err != nil {
+		return nil, err
+	}
+	builder, err := NewBuilder(w.cost, sampleOf(w.vectors, c.SampleSize, c.Seed), c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	red, _, err := builder.Build(MethodFBAllKMed, c.ChainDPrime)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   title,
+		Columns: []string{"pipeline", "avg_refinements", "avg_filter2_evals", "avg_time_ms", "speedup_vs_scan"},
+	}
+	var scanTime float64
+	for _, p := range AllPipelines() {
+		s, err := NewSearcher(p, w.vectors, w.cost, red)
+		if err != nil {
+			return nil, err
+		}
+		run, err := RunKNN(s, w.queries, c.K, ref)
+		if err != nil {
+			return nil, err
+		}
+		if run.Recall < 1 {
+			return nil, fmt.Errorf("eval: pipeline %s: recall %.3f < 1", p, run.Recall)
+		}
+		ms := float64(run.AvgQueryTime.Microseconds()) / 1000.0
+		if p == PipelineScan {
+			scanTime = ms
+		}
+		filter2 := "-"
+		if len(run.AvgStageEvals) == 2 {
+			filter2 = fmt.Sprintf("%.1f", run.AvgStageEvals[1])
+		}
+		speedup := "-"
+		if scanTime > 0 && ms > 0 {
+			speedup = fmt.Sprintf("%.2fx", scanTime/ms)
+		}
+		t.AddRow(string(p), run.AvgRefinements, filter2, ms, speedup)
+	}
+	return t, nil
+}
+
+// Fig15 — pipeline comparison on RETINA-sim (Figure 10 setup of the
+// paper against the sequential scan and the full-dimensional LB_IM
+// filter).
+func Fig15(c Config) (*Table, error) {
+	w, err := c.retina()
+	if err != nil {
+		return nil, err
+	}
+	return c.pipelineComparison(
+		fmt.Sprintf("Fig15: pipelines on %s (n=%d, d=%d, d'=%d, %d-NN)",
+			w.name, len(w.vectors), len(w.vectors[0]), c.ChainDPrime, c.K), w)
+}
+
+// Fig16 — pipeline comparison on IRMA-sim.
+func Fig16(c Config) (*Table, error) {
+	w, err := c.irma()
+	if err != nil {
+		return nil, err
+	}
+	return c.pipelineComparison(
+		fmt.Sprintf("Fig16: pipelines on %s (n=%d, d=%d, d'=%d, %d-NN)",
+			w.name, len(w.vectors), len(w.vectors[0]), c.ChainDPrime, c.K), w)
+}
+
+// Fig17 — flow-based reduction quality vs sample size |S|: tightness
+// ratio, refinements and preprocessing time (FB-All-KMed, RETINA-sim).
+func Fig17(c Config) (*Table, error) {
+	w, err := c.retina()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := c.reference(w)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig17: FB quality vs sample size (%s, d'=%d)", w.name, c.ChainDPrime),
+		Columns: []string{"sample_size", "tightness_ratio", "avg_refinements", "preprocess_ms"},
+	}
+	sizes := []int{4, 8, 16, 32, 64}
+	// Local search is a randomized heuristic: average each sample size
+	// over a few independent sample draws to expose the trend rather
+	// than single-run noise.
+	const repeats = 3
+	for _, size := range sizes {
+		if size > len(w.vectors) {
+			continue
+		}
+		if size > c.SampleSize*4 && size > 64 {
+			continue
+		}
+		var tightSum, refineSum, preSum float64
+		for rep := 0; rep < repeats; rep++ {
+			builder, err := NewBuilder(w.cost, sampleOf(w.vectors, size, c.Seed+int64(size+97*rep)), c.Seed+int64(rep))
+			if err != nil {
+				return nil, err
+			}
+			red, bs, err := builder.Build(MethodFBAllKMed, c.ChainDPrime)
+			if err != nil {
+				return nil, err
+			}
+			reduced, err := core.NewReducedEMD(w.cost, red, red)
+			if err != nil {
+				return nil, err
+			}
+			tight, err := TightnessRatio(reduced.Distance, w.vectors, w.cost, c.TightPairs)
+			if err != nil {
+				return nil, err
+			}
+			s, err := NewSearcher(PipelineRedEMD, w.vectors, w.cost, red)
+			if err != nil {
+				return nil, err
+			}
+			run, err := RunKNN(s, w.queries, c.K, ref)
+			if err != nil {
+				return nil, err
+			}
+			if run.Recall < 1 {
+				return nil, fmt.Errorf("eval: Fig17 |S|=%d: recall %.3f < 1", size, run.Recall)
+			}
+			tightSum += tight
+			refineSum += run.AvgRefinements
+			preSum += float64((bs.FlowTime + bs.OptimizeTime).Microseconds()) / 1000.0
+		}
+		t.AddRow(size, tightSum/repeats, refineSum/repeats, preSum/repeats)
+	}
+	t.Notes = append(t.Notes, "tightness and selectivity saturate at small sample sizes; preprocessing grows quadratically in |S|")
+	return t, nil
+}
+
+// Fig18 — scalability with database size on the 64-d color corpus:
+// per-query time of the scan vs the chained pipeline.
+func Fig18(c Config) (*Table, error) {
+	sizes := []int{}
+	base := c.ColorN / 8
+	if base < 25 {
+		base = 25
+	}
+	for n := base; n <= c.ColorN; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	w, err := c.color(c.ColorN)
+	if err != nil {
+		return nil, err
+	}
+	builder, err := NewBuilder(w.cost, sampleOf(w.vectors, c.SampleSize, c.Seed), c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	red, _, err := builder.Build(MethodFBAllKMed, c.ChainDPrime)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig18: scalability on %s (d=%d, d'=%d, %d-NN)", w.name, len(w.vectors[0]), c.ChainDPrime, c.K),
+		Columns: []string{"n", "scan_ms", "chain_ms", "speedup", "chain_refinements"},
+	}
+	for _, n := range sizes {
+		sub := &workload{name: w.name, vectors: w.vectors[:n], queries: w.queries, cost: w.cost}
+		ref, err := c.reference(sub)
+		if err != nil {
+			return nil, err
+		}
+		scan, err := NewSearcher(PipelineScan, sub.vectors, sub.cost, nil)
+		if err != nil {
+			return nil, err
+		}
+		scanRun, err := RunKNN(scan, sub.queries, c.K, ref)
+		if err != nil {
+			return nil, err
+		}
+		chain, err := NewSearcher(PipelineChain, sub.vectors, sub.cost, red)
+		if err != nil {
+			return nil, err
+		}
+		chainRun, err := RunKNN(chain, sub.queries, c.K, ref)
+		if err != nil {
+			return nil, err
+		}
+		if chainRun.Recall < 1 {
+			return nil, fmt.Errorf("eval: Fig18 n=%d: recall %.3f < 1", n, chainRun.Recall)
+		}
+		sm := float64(scanRun.AvgQueryTime.Microseconds()) / 1000.0
+		cm := float64(chainRun.AvgQueryTime.Microseconds()) / 1000.0
+		speedup := "-"
+		if cm > 0 {
+			speedup = fmt.Sprintf("%.2fx", sm/cm)
+		}
+		t.AddRow(n, sm, cm, speedup, chainRun.AvgRefinements)
+	}
+	t.Notes = append(t.Notes, "speedup over the sequential scan grows with n: refinements grow sublinearly while the scan is linear in n")
+	return t, nil
+}
+
+// Fig19 — k sweep: refinements and time per pipeline at the chain d'.
+func Fig19(c Config) (*Table, error) {
+	w, err := c.retina()
+	if err != nil {
+		return nil, err
+	}
+	builder, err := NewBuilder(w.cost, sampleOf(w.vectors, c.SampleSize, c.Seed), c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	red, _, err := builder.Build(MethodFBAllKMed, c.ChainDPrime)
+	if err != nil {
+		return nil, err
+	}
+	chain, err := NewSearcher(PipelineChain, w.vectors, w.cost, red)
+	if err != nil {
+		return nil, err
+	}
+	scan, err := NewSearcher(PipelineScan, w.vectors, w.cost, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fig19: k sweep on %s (n=%d, d'=%d)", w.name, len(w.vectors), c.ChainDPrime),
+		Columns: []string{"k", "chain_refinements", "chain_ms", "scan_ms", "speedup"},
+	}
+	ks := []int{1, 2, 5, 10, 20, 50, 100}
+	for _, k := range ks {
+		if k > len(w.vectors) {
+			continue
+		}
+		var ref [][]search.Result
+		if c.CheckRecall {
+			ref, err = ExactKNN(w.vectors, w.cost, w.queries, k)
+			if err != nil {
+				return nil, err
+			}
+		}
+		chainRun, err := RunKNN(chain, w.queries, k, ref)
+		if err != nil {
+			return nil, err
+		}
+		if chainRun.Recall < 1 {
+			return nil, fmt.Errorf("eval: Fig19 k=%d: recall %.3f < 1", k, chainRun.Recall)
+		}
+		scanRun, err := RunKNN(scan, w.queries, k, nil)
+		if err != nil {
+			return nil, err
+		}
+		cm := float64(chainRun.AvgQueryTime.Microseconds()) / 1000.0
+		sm := float64(scanRun.AvgQueryTime.Microseconds()) / 1000.0
+		speedup := "-"
+		if cm > 0 {
+			speedup = fmt.Sprintf("%.2fx", sm/cm)
+		}
+		t.AddRow(k, chainRun.AvgRefinements, cm, sm, speedup)
+	}
+	t.Notes = append(t.Notes, "refinements grow moderately with k; the filter keeps pruning most of the database even at large k")
+	return t, nil
+}
+
+// methodNames renders the method list for table headers.
+func methodNames() []string {
+	methods := AllMethods()
+	out := make([]string, len(methods))
+	for i, m := range methods {
+		out[i] = string(m)
+	}
+	return out
+}
+
+// fillSweepRows turns the (d' -> method -> value) map into table rows.
+func fillSweepRows(t *Table, results map[int]map[Method]float64, dPrimes []int) {
+	keys := make([]int, 0, len(results))
+	for d := range results {
+		keys = append(keys, d)
+	}
+	sort.Ints(keys)
+	for _, d := range keys {
+		row := []interface{}{d}
+		for _, m := range AllMethods() {
+			row = append(row, results[d][m])
+		}
+		t.AddRow(row...)
+	}
+	_ = dPrimes
+}
+
+// sweepWinners summarizes which method achieves the smallest value per
+// d' (or largest if max is true).
+func sweepWinners(results map[int]map[Method]float64, dPrimes []int, max bool) string {
+	counts := map[Method]int{}
+	for _, byMethod := range results {
+		var best Method
+		first := true
+		for _, m := range AllMethods() {
+			v, ok := byMethod[m]
+			if !ok {
+				continue
+			}
+			if first || (max && v > byMethod[best]) || (!max && v < byMethod[best]) {
+				best = m
+				first = false
+			}
+		}
+		if !first {
+			counts[best]++
+		}
+	}
+	var bestOverall Method
+	bestCount := -1
+	for _, m := range AllMethods() {
+		if counts[m] > bestCount {
+			bestOverall = m
+			bestCount = counts[m]
+		}
+	}
+	return fmt.Sprintf("best method at most d' values: %s (%d of %d sweep points)", bestOverall, bestCount, len(results))
+}
+
+// pcaFor builds the PCA ablation reduction from the same sample budget
+// the other methods get.
+func pcaFor(w *workload, c Config, dPrime int) (*pca.SoftReduction, error) {
+	sample := sampleOf(w.vectors, maxInt(c.SampleSize, 16), c.Seed)
+	return pca.New(sample, w.cost, dPrime, 0.1)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// elapsedMS formats a duration in milliseconds.
+func elapsedMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000.0
+}

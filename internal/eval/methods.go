@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"emdsearch/internal/cluster"
+	"emdsearch/internal/core"
+	"emdsearch/internal/emd"
+	"emdsearch/internal/flowred"
+)
+
+// Method identifies one reduction-construction heuristic compared in
+// the experiments.
+type Method string
+
+// The reduction methods of the paper's evaluation: a random combining
+// baseline, adjacent merging (the generalization of [14]), k-medoids
+// clustering (Section 3.3), and the four flow-based variants
+// (Section 3.4: FB-Mod/FB-All crossed with Base/KMed initialization).
+const (
+	MethodRandom    Method = "Random"
+	MethodAdjacent  Method = "Adjacent"
+	MethodKMed      Method = "KMed"
+	MethodFBModBase Method = "FB-Mod-Base"
+	MethodFBModKMed Method = "FB-Mod-KMed"
+	MethodFBAllBase Method = "FB-All-Base"
+	MethodFBAllKMed Method = "FB-All-KMed"
+)
+
+// AllMethods lists the methods in presentation order.
+func AllMethods() []Method {
+	return []Method{
+		MethodRandom, MethodAdjacent, MethodKMed,
+		MethodFBModBase, MethodFBModKMed, MethodFBAllBase, MethodFBAllKMed,
+	}
+}
+
+// BuildStats reports the preprocessing cost of one reduction build.
+type BuildStats struct {
+	// SampleEMDs counts full-dimensional EMD computations spent on
+	// flow collection (zero for data-independent methods).
+	SampleEMDs int
+	// FlowTime is the time spent collecting flows.
+	FlowTime time.Duration
+	// OptimizeTime is the time spent in clustering/local search.
+	OptimizeTime time.Duration
+	// Tightness is the final Eq. 12 value (flow-based methods only).
+	Tightness float64
+}
+
+// Builder constructs reductions for one data set: it caches the sample
+// flow matrix so that all flow-based variants share one flow
+// collection, as a single preprocessing pass would in production.
+type Builder struct {
+	cost     emd.CostMatrix
+	dim      int
+	sample   []emd.Histogram
+	flows    [][]float64
+	flowT    time.Duration
+	nEMDs    int
+	rng      *rand.Rand
+	kmedSeed int64
+}
+
+// NewBuilder prepares reduction construction over the given ground
+// distance and database sample (used by the flow-based methods; the
+// data-independent methods ignore it). seed drives every randomized
+// component.
+func NewBuilder(cost emd.CostMatrix, sample []emd.Histogram, seed int64) (*Builder, error) {
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	if cost.Rows() != cost.Cols() {
+		return nil, fmt.Errorf("eval: cost matrix is %dx%d, want square", cost.Rows(), cost.Cols())
+	}
+	return &Builder{
+		cost:     cost,
+		dim:      cost.Rows(),
+		sample:   sample,
+		rng:      rand.New(rand.NewSource(seed)),
+		kmedSeed: seed + 1,
+	}, nil
+}
+
+// ensureFlows lazily collects the average flow matrix over the sample.
+func (b *Builder) ensureFlows() error {
+	if b.flows != nil {
+		return nil
+	}
+	if len(b.sample) < 2 {
+		return fmt.Errorf("eval: flow-based reduction needs a sample of >= 2 histograms, got %d", len(b.sample))
+	}
+	dist, err := emd.NewDist(b.cost)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	flows, err := flowred.AverageFlowsParallel(b.sample, dist, 0)
+	if err != nil {
+		return err
+	}
+	b.flowT = time.Since(start)
+	b.flows = flows
+	n := len(b.sample)
+	b.nEMDs = n * (n - 1) / 2
+	return nil
+}
+
+// kmedoids runs the clustering-based reduction with a few restarts.
+func (b *Builder) kmedoids(reduced int) (*core.Reduction, error) {
+	res, err := cluster.BestOfRestarts(b.cost, reduced, 3, rand.New(rand.NewSource(b.kmedSeed)))
+	if err != nil {
+		return nil, err
+	}
+	return res.Reduction, nil
+}
+
+// Build constructs the reduction for one method at the given reduced
+// dimensionality.
+func (b *Builder) Build(m Method, reduced int) (*core.Reduction, *BuildStats, error) {
+	stats := &BuildStats{}
+	start := time.Now()
+	var red *core.Reduction
+	var err error
+	switch m {
+	case MethodRandom:
+		red, err = core.Random(b.dim, reduced, b.rng)
+	case MethodAdjacent:
+		red, err = core.Adjacent(b.dim, reduced)
+	case MethodKMed:
+		red, err = b.kmedoids(reduced)
+	case MethodFBModBase, MethodFBModKMed, MethodFBAllBase, MethodFBAllKMed:
+		if err = b.ensureFlows(); err != nil {
+			return nil, nil, err
+		}
+		stats.SampleEMDs = b.nEMDs
+		stats.FlowTime = b.flowT
+		var start []int
+		if m == MethodFBModKMed || m == MethodFBAllKMed {
+			init, kerr := b.kmedoids(reduced)
+			if kerr != nil {
+				return nil, nil, kerr
+			}
+			start = init.Assignment()
+		} else {
+			start = flowred.BaseAssignment(b.dim)
+		}
+		optStart := time.Now()
+		var fbStats *flowred.Stats
+		if m == MethodFBModBase || m == MethodFBModKMed {
+			red, fbStats, err = flowred.OptimizeMod(start, reduced, b.flows, b.cost, flowred.Options{})
+		} else {
+			red, fbStats, err = flowred.OptimizeAll(start, reduced, b.flows, b.cost, flowred.Options{})
+		}
+		if err == nil {
+			stats.OptimizeTime = time.Since(optStart)
+			stats.Tightness = fbStats.Tightness
+		}
+	default:
+		return nil, nil, fmt.Errorf("eval: unknown method %q", m)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("eval: building %s reduction: %w", m, err)
+	}
+	if m == MethodRandom || m == MethodAdjacent || m == MethodKMed {
+		stats.OptimizeTime = time.Since(start)
+	}
+	return red, stats, nil
+}

@@ -1,0 +1,242 @@
+package flowred
+
+import "math"
+
+// searchState is the incremental evaluation engine behind FB-Mod and
+// FB-All. It maintains, for the current assignment,
+//
+//   - af:   the aggregated flow matrix AF[i'][j'] = aggrFlow(F,R,i',j')
+//   - cred: the optimal reduced cost matrix (Definition 5), +Inf for
+//     cell pairs involving an empty reduced dimension
+//   - tight: the expected tightness sum AF .* cred (Eq. 12)
+//
+// evalMove computes the tightness after reassigning one original
+// dimension in O(|group| * d) without mutating the state; commit
+// applies a move and rebuilds the caches exactly. Empty reduced groups
+// are legal throughout the search (the paper's Base initial solution
+// starts with all but one group empty); their cells contribute zero
+// tightness since no flow can aggregate into them.
+type searchState struct {
+	d, dr     int
+	f         [][]float64
+	c         [][]float64
+	assign    []int
+	groupSize []int
+	af        [][]float64
+	cred      [][]float64
+	tight     float64
+
+	// scratch buffers for evalMove, sized dr.
+	rowAggX, colAggX   []float64
+	minRowO, minColO   []float64
+	newRowA, newColA   []float64 // recomputed cred rows/cols for group a
+	newRowB, newColB   []float64
+	afRowA, afRowB     []float64
+	afColA, afColB     []float64
+	credRowA, credRowB []float64 // snapshots of old values for delta
+}
+
+func newSearchState(f [][]float64, c [][]float64, assign []int, dr int) *searchState {
+	d := len(assign)
+	st := &searchState{
+		d: d, dr: dr,
+		f:         f,
+		c:         c,
+		assign:    assign,
+		groupSize: make([]int, dr),
+		rowAggX:   make([]float64, dr),
+		colAggX:   make([]float64, dr),
+		minRowO:   make([]float64, dr),
+		minColO:   make([]float64, dr),
+		newRowA:   make([]float64, dr),
+		newColA:   make([]float64, dr),
+		newRowB:   make([]float64, dr),
+		newColB:   make([]float64, dr),
+		afRowA:    make([]float64, dr),
+		afRowB:    make([]float64, dr),
+		afColA:    make([]float64, dr),
+		afColB:    make([]float64, dr),
+	}
+	st.af = newSquare(dr)
+	st.cred = newSquare(dr)
+	st.rebuild()
+	return st
+}
+
+func newSquare(n int) [][]float64 {
+	backing := make([]float64, n*n)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = backing[i*n : (i+1)*n]
+	}
+	return out
+}
+
+// contrib is one Eq. 12 term with the empty-group convention: zero
+// aggregated flow contributes nothing even where the reduced cost is
+// +Inf (empty group).
+func contrib(af, cost float64) float64 {
+	if af == 0 {
+		return 0
+	}
+	return af * cost
+}
+
+// rebuild recomputes groupSize, af, cred and tight from scratch in
+// O(d^2). It is called once on construction and after every commit, so
+// numerical drift cannot accumulate across evaluations.
+func (st *searchState) rebuild() {
+	for g := range st.groupSize {
+		st.groupSize[g] = 0
+	}
+	for _, g := range st.assign {
+		st.groupSize[g]++
+	}
+	for i := 0; i < st.dr; i++ {
+		for j := 0; j < st.dr; j++ {
+			st.af[i][j] = 0
+			st.cred[i][j] = math.Inf(1)
+		}
+	}
+	for i := 0; i < st.d; i++ {
+		gi := st.assign[i]
+		frow := st.f[i]
+		crow := st.c[i]
+		afRow := st.af[gi]
+		credRow := st.cred[gi]
+		for j := 0; j < st.d; j++ {
+			gj := st.assign[j]
+			afRow[gj] += frow[j]
+			if crow[j] < credRow[gj] {
+				credRow[gj] = crow[j]
+			}
+		}
+	}
+	st.tight = 0
+	for i := 0; i < st.dr; i++ {
+		for j := 0; j < st.dr; j++ {
+			st.tight += contrib(st.af[i][j], st.cred[i][j])
+		}
+	}
+}
+
+// evalMove returns the tightness that reassigning original dimension o
+// from its current group a to group b would produce. It must not be
+// called with b == assign[o] or with groupSize[assign[o]] == 1.
+func (st *searchState) evalMove(o, b int) float64 {
+	a := st.assign[o]
+	d, dr := st.d, st.dr
+
+	// Fresh per-evaluation aggregates over dimension o, excluding o
+	// itself (its self-flow and self-cost move between the diagonal
+	// cells and are handled explicitly).
+	for g := 0; g < dr; g++ {
+		st.rowAggX[g] = 0
+		st.colAggX[g] = 0
+		st.minRowO[g] = math.Inf(1)
+		st.minColO[g] = math.Inf(1)
+		st.newRowA[g] = math.Inf(1)
+		st.newColA[g] = math.Inf(1)
+	}
+	fo := st.f[o]
+	co := st.c[o]
+	for j := 0; j < d; j++ {
+		if j == o {
+			continue
+		}
+		gj := st.assign[j]
+		st.rowAggX[gj] += fo[j]
+		st.colAggX[gj] += st.f[j][o]
+		if co[j] < st.minRowO[gj] {
+			st.minRowO[gj] = co[j]
+		}
+		if st.c[j][o] < st.minColO[gj] {
+			st.minColO[gj] = st.c[j][o]
+		}
+	}
+
+	// Recompute reduced-cost row a and column a over the remaining
+	// members of group a, mapping the *other* index through the new
+	// assignment (o belongs to b after the move).
+	for i := 0; i < d; i++ {
+		if i == o || st.assign[i] != a {
+			continue
+		}
+		ci := st.c[i]
+		for j := 0; j < d; j++ {
+			gj := st.assign[j]
+			if j == o {
+				gj = b
+			}
+			if ci[j] < st.newRowA[gj] {
+				st.newRowA[gj] = ci[j]
+			}
+			// Column a: c[j][i] with j mapped through new groups.
+			if st.c[j][i] < st.newColA[gj] {
+				st.newColA[gj] = st.c[j][i]
+			}
+		}
+	}
+
+	// New reduced-cost row b and column b.
+	for g := 0; g < dr; g++ {
+		st.newRowB[g] = math.Min(st.cred[b][g], st.minRowO[g])
+		st.newColB[g] = math.Min(st.cred[g][b], st.minColO[g])
+	}
+	// Cells coupling a and b are owned by the recomputed a-row/column.
+	st.newRowB[a] = st.newColA[b]
+	st.newColB[a] = st.newRowA[b]
+	// Cell (b,b): old group b plus dimension o in both roles.
+	bb := math.Min(st.cred[b][b], math.Min(st.minRowO[b], st.minColO[b]))
+	bb = math.Min(bb, st.c[o][o])
+	st.newRowB[b] = bb
+	st.newColB[b] = bb
+	// Cell (a,a) appears in both recomputed passes with the same value.
+
+	// New aggregated flows for the affected rows and columns.
+	foo := fo[o]
+	for g := 0; g < dr; g++ {
+		st.afRowA[g] = st.af[a][g] - st.rowAggX[g]
+		st.afRowB[g] = st.af[b][g] + st.rowAggX[g]
+		st.afColA[g] = st.af[g][a] - st.colAggX[g]
+		st.afColB[g] = st.af[g][b] + st.colAggX[g]
+	}
+	// Column-membership changes for the cells in rows a and b.
+	st.afRowA[a] -= st.colAggX[a]
+	st.afRowA[b] += st.colAggX[a]
+	st.afRowB[a] -= st.colAggX[b]
+	st.afRowB[b] += st.colAggX[b]
+	// Row-membership changes for the cells in columns a and b.
+	st.afColA[a] -= st.rowAggX[a]
+	st.afColA[b] += st.rowAggX[a]
+	st.afColB[a] -= st.rowAggX[b]
+	st.afColB[b] += st.rowAggX[b]
+	// Self-flow f[o][o] leaves (a,a) and enters (b,b).
+	st.afRowA[a] -= foo
+	st.afRowB[b] += foo
+	st.afColA[a] -= foo
+	st.afColB[b] += foo
+
+	// Delta over the affected cells: rows a and b across all columns,
+	// plus columns a and b for the remaining rows.
+	delta := 0.0
+	for g := 0; g < dr; g++ {
+		delta += contrib(st.afRowA[g], st.newRowA[g]) - contrib(st.af[a][g], st.cred[a][g])
+		delta += contrib(st.afRowB[g], st.newRowB[g]) - contrib(st.af[b][g], st.cred[b][g])
+	}
+	for g := 0; g < dr; g++ {
+		if g == a || g == b {
+			continue
+		}
+		delta += contrib(st.afColA[g], st.newColA[g]) - contrib(st.af[g][a], st.cred[g][a])
+		delta += contrib(st.afColB[g], st.newColB[g]) - contrib(st.af[g][b], st.cred[g][b])
+	}
+	return st.tight + delta
+}
+
+// commit applies the reassignment of dimension o to group b and
+// rebuilds all caches exactly.
+func (st *searchState) commit(o, b int) {
+	st.assign[o] = b
+	st.rebuild()
+}

@@ -1,0 +1,223 @@
+// Package kdtree implements a k-d tree over low-dimensional points
+// with *incremental* nearest-neighbor iteration: Query returns a
+// stream that yields points in ascending Lp distance from the query,
+// lazily, using the classic best-first traversal over a priority queue
+// of tree nodes and points.
+//
+// In this repository the tree indexes the mass centroids of database
+// histograms (2–3 dimensions for image tilings and color spaces).
+// Because the centroid distance lower-bounds the EMD (Rubner), the
+// stream is exactly the getNext interface of the paper's multistep
+// architecture — but obtained in O(log n) per candidate instead of the
+// O(n) filter scan, realizing the paper's remark that the reduced
+// representation can be indexed in a multidimensional structure.
+package kdtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"emdsearch/internal/vecmath"
+)
+
+// Tree is an immutable k-d tree over a fixed point set.
+type Tree struct {
+	points [][]float64
+	ids    []int32
+	// nodes in implicit layout: node i splits on axis[i] at split[i];
+	// leaves hold point ranges.
+	root *node
+	dim  int
+	p    float64
+}
+
+type node struct {
+	axis   int
+	split  float64
+	lo, hi *node
+	// leaf data: indices into points/ids
+	start, end int32
+	leaf       bool
+	// bounding box of the subtree
+	min, max []float64
+}
+
+const leafSize = 16
+
+// Build constructs a tree over the given points (ids 0..n-1) for Lp
+// queries (p >= 1). Points are not copied; the caller must not mutate
+// them afterwards.
+func Build(points [][]float64, p float64) (*Tree, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kdtree: no points")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("kdtree: zero-dimensional points")
+	}
+	for i, pt := range points {
+		if len(pt) != dim {
+			return nil, fmt.Errorf("kdtree: point %d has %d coordinates, want %d", i, len(pt), dim)
+		}
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("kdtree: p = %g, want >= 1", p)
+	}
+	t := &Tree{
+		points: points,
+		ids:    make([]int32, len(points)),
+		dim:    dim,
+		p:      p,
+	}
+	for i := range t.ids {
+		t.ids[i] = int32(i)
+	}
+	t.root = t.build(0, int32(len(points)), 0)
+	return t, nil
+}
+
+// build recursively splits ids[start:end].
+func (t *Tree) build(start, end int32, depth int) *node {
+	nd := &node{start: start, end: end}
+	nd.min = make([]float64, t.dim)
+	nd.max = make([]float64, t.dim)
+	for k := 0; k < t.dim; k++ {
+		nd.min[k] = math.Inf(1)
+		nd.max[k] = math.Inf(-1)
+	}
+	for _, id := range t.ids[start:end] {
+		pt := t.points[id]
+		for k, v := range pt {
+			if v < nd.min[k] {
+				nd.min[k] = v
+			}
+			if v > nd.max[k] {
+				nd.max[k] = v
+			}
+		}
+	}
+	if end-start <= leafSize {
+		nd.leaf = true
+		return nd
+	}
+	// Split on the axis with the largest extent at the median.
+	axis := 0
+	best := -1.0
+	for k := 0; k < t.dim; k++ {
+		if ext := nd.max[k] - nd.min[k]; ext > best {
+			best = ext
+			axis = k
+		}
+	}
+	ids := t.ids[start:end]
+	sort.Slice(ids, func(a, b int) bool {
+		return t.points[ids[a]][axis] < t.points[ids[b]][axis]
+	})
+	mid := (end - start) / 2
+	nd.axis = axis
+	nd.split = t.points[ids[mid]][axis]
+	nd.leaf = false
+	nd.lo = t.build(start, start+mid, depth+1)
+	nd.hi = t.build(start+mid, end, depth+1)
+	return nd
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.points) }
+
+// minDist returns the minimal Lp distance from q to nd's bounding box.
+func (t *Tree) minDist(q []float64, nd *node) float64 {
+	var acc float64
+	for k, v := range q {
+		var d float64
+		if v < nd.min[k] {
+			d = nd.min[k] - v
+		} else if v > nd.max[k] {
+			d = v - nd.max[k]
+		}
+		if d == 0 {
+			continue
+		}
+		switch t.p {
+		case 1:
+			acc += d
+		case 2:
+			acc += d * d
+		default:
+			acc += math.Pow(d, t.p)
+		}
+	}
+	switch t.p {
+	case 1:
+		return acc
+	case 2:
+		return math.Sqrt(acc)
+	default:
+		return math.Pow(acc, 1/t.p)
+	}
+}
+
+// Stream yields points in ascending distance from a query.
+type Stream struct {
+	tree *Tree
+	q    []float64
+	pq   itemHeap
+}
+
+type item struct {
+	dist  float64
+	point int32 // -1 for nodes
+	node  *node
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int            { return len(h) }
+func (h itemHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Query starts an incremental nearest-neighbor stream from q.
+func (t *Tree) Query(q []float64) (*Stream, error) {
+	if len(q) != t.dim {
+		return nil, fmt.Errorf("kdtree: query has %d coordinates, tree stores %d", len(q), t.dim)
+	}
+	s := &Stream{tree: t, q: q}
+	heap.Push(&s.pq, item{dist: t.minDist(q, t.root), point: -1, node: t.root})
+	return s, nil
+}
+
+// Next returns the next closest point id and its distance, or
+// ok = false when the stream is exhausted. Amortized cost is
+// logarithmic per call for well-distributed data.
+func (s *Stream) Next() (id int, dist float64, ok bool) {
+	t := s.tree
+	for s.pq.Len() > 0 {
+		it := heap.Pop(&s.pq).(item)
+		if it.point >= 0 {
+			return int(it.point), it.dist, true
+		}
+		nd := it.node
+		if nd.leaf {
+			for _, pid := range t.ids[nd.start:nd.end] {
+				heap.Push(&s.pq, item{
+					dist:  vecmath.Lp(s.q, t.points[pid], t.p),
+					point: pid,
+				})
+			}
+			continue
+		}
+		heap.Push(&s.pq, item{dist: t.minDist(s.q, nd.lo), point: -1, node: nd.lo})
+		heap.Push(&s.pq, item{dist: t.minDist(s.q, nd.hi), point: -1, node: nd.hi})
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,154 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"emdsearch/internal/vecmath"
+)
+
+func randomPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, dim)
+		for k := range pts[i] {
+			pts[i][k] = rng.Float64() * 10
+		}
+	}
+	return pts
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 2); err == nil {
+		t.Error("accepted empty point set")
+	}
+	if _, err := Build([][]float64{{1, 2}, {3}}, 2); err == nil {
+		t.Error("accepted ragged points")
+	}
+	if _, err := Build([][]float64{{1}}, 0.5); err == nil {
+		t.Error("accepted p < 1")
+	}
+	if _, err := Build([][]float64{{}}, 2); err == nil {
+		t.Error("accepted zero-dimensional points")
+	}
+}
+
+// TestStreamYieldsAllInOrder: the incremental stream must enumerate
+// every point exactly once, in ascending distance, matching a sort.
+func TestStreamYieldsAllInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range []float64{1, 2, 3} {
+		for _, dim := range []int{1, 2, 3} {
+			pts := randomPoints(rng, 500, dim)
+			tree, err := Build(pts, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tree.Len() != 500 {
+				t.Fatalf("Len = %d", tree.Len())
+			}
+			q := make([]float64, dim)
+			for k := range q {
+				q[k] = rng.Float64() * 10
+			}
+			stream, err := tree.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type res struct {
+				id   int
+				dist float64
+			}
+			var got []res
+			for {
+				id, d, ok := stream.Next()
+				if !ok {
+					break
+				}
+				got = append(got, res{id, d})
+			}
+			if len(got) != 500 {
+				t.Fatalf("p=%g dim=%d: stream yielded %d of 500", p, dim, len(got))
+			}
+			seen := make([]bool, 500)
+			prev := -1.0
+			for i, r := range got {
+				if seen[r.id] {
+					t.Fatalf("point %d yielded twice", r.id)
+				}
+				seen[r.id] = true
+				if r.dist < prev-1e-12 {
+					t.Fatalf("out of order at %d: %g after %g", i, r.dist, prev)
+				}
+				prev = r.dist
+				if want := vecmath.Lp(q, pts[r.id], p); math.Abs(want-r.dist) > 1e-9 {
+					t.Fatalf("distance of %d: %g, want %g", r.id, r.dist, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamPrefixMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 800, 2)
+	tree, err := Build(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{5, 5}
+	dists := make([]float64, len(pts))
+	for i := range pts {
+		dists[i] = vecmath.L2(q, pts[i])
+	}
+	sorted := append([]float64(nil), dists...)
+	sort.Float64s(sorted)
+	stream, err := tree.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		_, d, ok := stream.Next()
+		if !ok {
+			t.Fatal("stream exhausted early")
+		}
+		if math.Abs(d-sorted[i]) > 1e-9 {
+			t.Fatalf("prefix %d: %g, want %g", i, d, sorted[i])
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	tree, err := Build([][]float64{{1, 2}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Query([]float64{1}); err == nil {
+		t.Error("accepted mismatched query dimensionality")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	tree, err := Build(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := tree.Query([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, _, ok := stream.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 4 {
+		t.Errorf("yielded %d of 4 points with duplicates", count)
+	}
+}

@@ -1,0 +1,203 @@
+// Package lb provides classic lower-bounding filter distances for the
+// Earth Mover's Distance that the paper chains with its dimensionality
+// reduction (Section 4, Figure 10):
+//
+//   - IM, the independent-minimization bound LB_IM of Assent et
+//     al. ([1] in the paper): the transportation LP relaxed so that
+//     each source bin routes its mass to the cheapest target bins
+//     independently, subject only to the individual target capacities.
+//     Because every feasible EMD flow satisfies the relaxed
+//     constraints, the relaxed optimum never exceeds the EMD. The bound
+//     works on any cost matrix — in particular on the *reduced* cost
+//     matrix of a combining reduction, which yields the Red-IM filter
+//     of the paper's chained pipeline.
+//
+//   - Centroid, Rubner's centroid distance: for ground distances that
+//     are norms of bin-position differences, the norm distance between
+//     the mass centroids lower-bounds the EMD (triangle inequality
+//     applied to the flow decomposition).
+package lb
+
+import (
+	"fmt"
+	"sort"
+
+	"emdsearch/internal/emd"
+	"emdsearch/internal/vecmath"
+)
+
+// IM is the independent-minimization lower bound LB_IM, precompiled for
+// one cost matrix. It evaluates both relaxation directions (dropping
+// the target coupling and dropping the source coupling) and returns the
+// larger, still lower-bounding value.
+type IM struct {
+	cost emd.CostMatrix
+	// rowOrder[i] lists target bins in ascending cost from source i;
+	// colOrder[j] lists source bins in ascending cost toward target j.
+	rowOrder [][]int32
+	colOrder [][]int32
+}
+
+// NewIM validates c and precomputes the sorted cost orders. The
+// precomputation is O(d1*d2*log d), done once per cost matrix.
+func NewIM(c emd.CostMatrix) (*IM, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rows, cols := c.Rows(), c.Cols()
+	im := &IM{
+		cost:     c,
+		rowOrder: make([][]int32, rows),
+		colOrder: make([][]int32, cols),
+	}
+	for i := 0; i < rows; i++ {
+		order := make([]int32, cols)
+		for j := range order {
+			order[j] = int32(j)
+		}
+		row := c[i]
+		sort.Slice(order, func(a, b int) bool { return row[order[a]] < row[order[b]] })
+		im.rowOrder[i] = order
+	}
+	for j := 0; j < cols; j++ {
+		order := make([]int32, rows)
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.Slice(order, func(a, b int) bool { return c[order[a]][j] < c[order[b]][j] })
+		im.colOrder[j] = order
+	}
+	return im, nil
+}
+
+// Dims returns the source and target dimensionality of the compiled
+// cost matrix.
+func (im *IM) Dims() (rows, cols int) { return im.cost.Rows(), im.cost.Cols() }
+
+// Distance returns max(forward, backward) of the two one-sided
+// relaxations; both are lower bounds of EMD_C(x, y), hence so is the
+// maximum.
+func (im *IM) Distance(x, y emd.Histogram) float64 {
+	fwd := im.forward(x, y)
+	bwd := im.backward(x, y)
+	if bwd > fwd {
+		return bwd
+	}
+	return fwd
+}
+
+// forward relaxes the target constraints to per-source capacities:
+// every source bin i ships x_i to the cheapest targets, each target j
+// accepting at most y_j *per source*.
+func (im *IM) forward(x, y emd.Histogram) float64 {
+	var total float64
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		remaining := xi
+		row := im.cost[i]
+		for _, j := range im.rowOrder[i] {
+			cap := y[j]
+			if cap == 0 {
+				continue
+			}
+			if cap >= remaining {
+				total += remaining * row[j]
+				remaining = 0
+				break
+			}
+			total += cap * row[j]
+			remaining -= cap
+		}
+		// Numerical residue (masses sum to one on both sides) is
+		// dropped; it can only make the bound smaller, never invalid.
+	}
+	return total
+}
+
+// backward relaxes the source constraints symmetrically.
+func (im *IM) backward(x, y emd.Histogram) float64 {
+	var total float64
+	for j, yj := range y {
+		if yj == 0 {
+			continue
+		}
+		remaining := yj
+		for _, i := range im.colOrder[j] {
+			cap := x[i]
+			if cap == 0 {
+				continue
+			}
+			if cap >= remaining {
+				total += remaining * im.cost[i][j]
+				remaining = 0
+				break
+			}
+			total += cap * im.cost[i][j]
+			remaining -= cap
+		}
+	}
+	return total
+}
+
+// Centroid is Rubner's centroid lower bound for position-based ground
+// distances: EMD_C(x,y) >= ||sum_i x_i p_i - sum_j y_j q_j||_p whenever
+// C[i][j] = ||p_i - q_j||_p. Source and target bins may use different
+// position sets (rectangular costs).
+type Centroid struct {
+	source, target [][]float64
+	p              float64
+}
+
+// NewCentroid validates the positions and returns the compiled bound.
+// The caller is responsible for using it only with an EMD whose ground
+// distance is the corresponding Lp position distance; CheckAgainst
+// verifies that correspondence.
+func NewCentroid(source, target [][]float64, p float64) (*Centroid, error) {
+	if len(source) == 0 || len(target) == 0 {
+		return nil, fmt.Errorf("lb: empty position set")
+	}
+	dim := len(source[0])
+	for i, pos := range source {
+		if len(pos) != dim {
+			return nil, fmt.Errorf("lb: source position %d has %d coordinates, want %d", i, len(pos), dim)
+		}
+	}
+	for j, pos := range target {
+		if len(pos) != dim {
+			return nil, fmt.Errorf("lb: target position %d has %d coordinates, want %d", j, len(pos), dim)
+		}
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("lb: p = %g is not a norm order (need p >= 1)", p)
+	}
+	return &Centroid{source: source, target: target, p: p}, nil
+}
+
+// Distance returns the centroid lower bound for histograms x over the
+// source positions and y over the target positions.
+func (cb *Centroid) Distance(x, y emd.Histogram) float64 {
+	cx := vecmath.Centroid(x, cb.source)
+	cy := vecmath.Centroid(y, cb.target)
+	return vecmath.Lp(cx, cy, cb.p)
+}
+
+// CheckAgainst verifies that cost c matches the Lp position distance
+// this bound assumes, up to tol. Using Centroid with a non-matching
+// cost matrix silently loses the lower-bound guarantee; call this once
+// when wiring a pipeline.
+func (cb *Centroid) CheckAgainst(c emd.CostMatrix, tol float64) error {
+	if c.Rows() != len(cb.source) || c.Cols() != len(cb.target) {
+		return fmt.Errorf("lb: cost matrix is %dx%d, positions are %dx%d",
+			c.Rows(), c.Cols(), len(cb.source), len(cb.target))
+	}
+	for i, pi := range cb.source {
+		for j, qj := range cb.target {
+			if want := vecmath.Lp(pi, qj, cb.p); !vecmath.AlmostEqual(c[i][j], want, tol) {
+				return fmt.Errorf("lb: cost[%d][%d] = %g, position distance is %g", i, j, c[i][j], want)
+			}
+		}
+	}
+	return nil
+}

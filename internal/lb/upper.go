@@ -1,0 +1,82 @@
+package lb
+
+import (
+	"emdsearch/internal/emd"
+)
+
+// GreedyUpper computes cheap upper bounds of the EMD by constructing a
+// feasible (not necessarily optimal) transportation flow greedily: for
+// each source bin in turn, mass is shipped to the cheapest target bins
+// with remaining capacity. Any feasible flow's cost dominates the
+// optimum, so the result is a guaranteed upper bound, typically within
+// a few tens of percent of the exact EMD at ~1/100th of its cost
+// (O(d^2) versus the simplex's empirically cubic behavior).
+//
+// Together with a reduced-EMD lower bound this forms the practical
+// envelope for certified approximate search (Engine.ApproxKNN): the
+// reduced EMD brackets from below, the greedy flow from above.
+type GreedyUpper struct {
+	cost     emd.CostMatrix
+	rowOrder [][]int32
+	// scratch capacity buffer reused across calls; Distance is not
+	// safe for concurrent use on one instance — clone per goroutine.
+	remaining []float64
+}
+
+// NewGreedyUpper validates c (square or rectangular) and precomputes
+// the per-row cheapest-target orders.
+func NewGreedyUpper(c emd.CostMatrix) (*GreedyUpper, error) {
+	im, err := NewIM(c) // reuse validation and row-order construction
+	if err != nil {
+		return nil, err
+	}
+	return &GreedyUpper{
+		cost:      c,
+		rowOrder:  im.rowOrder,
+		remaining: make([]float64, c.Cols()),
+	}, nil
+}
+
+// Clone returns an independent instance sharing the immutable
+// precomputed orders, for concurrent use.
+func (g *GreedyUpper) Clone() *GreedyUpper {
+	return &GreedyUpper{
+		cost:      g.cost,
+		rowOrder:  g.rowOrder,
+		remaining: make([]float64, g.cost.Cols()),
+	}
+}
+
+// Distance returns the cost of the greedy feasible flow from x to y —
+// an upper bound of EMD_C(x, y). Histograms are trusted to be valid
+// operands of equal total mass.
+func (g *GreedyUpper) Distance(x, y emd.Histogram) float64 {
+	copy(g.remaining, y)
+	var total float64
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		need := xi
+		row := g.cost[i]
+		for _, j := range g.rowOrder[i] {
+			cap := g.remaining[j]
+			if cap == 0 {
+				continue
+			}
+			if cap >= need {
+				total += need * row[j]
+				g.remaining[j] = cap - need
+				need = 0
+				break
+			}
+			total += cap * row[j]
+			g.remaining[j] = 0
+			need -= cap
+		}
+		// Numerical residue of at most a few ulps may remain; it is
+		// dropped, which can only lower the bound by the same ulps —
+		// callers treat the result with standard float tolerance.
+	}
+	return total
+}

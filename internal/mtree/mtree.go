@@ -1,0 +1,427 @@
+// Package mtree implements the M-tree, the dynamic metric access
+// method of Ciaccia, Patella and Zezula that the multimedia-database
+// community (including the paper's group) used as the standard
+// disk-oriented index for expensive metric distances such as the EMD.
+// Unlike the static VP-tree in internal/vptree, the M-tree is built by
+// successive insertion and answers k-NN queries best-first with a
+// priority queue over covering-radius lower bounds, pruning via the
+// triangle inequality both against routing objects and against the
+// stored parent distances.
+//
+// Within this repository the M-tree serves as a second, independently
+// implemented metric baseline for the Fig23-style comparisons and as a
+// substrate for exact EMD search when insertions must be dynamic.
+package mtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// DistFunc is the metric between two indexed objects.
+type DistFunc func(i, j int) float64
+
+// QueryDistFunc is the metric between the query and object i.
+type QueryDistFunc func(i int) float64
+
+// Tree is an M-tree over integer object ids.
+type Tree struct {
+	dist     DistFunc
+	capacity int
+	root     *node
+	size     int
+	rng      *rand.Rand
+	// DistanceCalls counts metric evaluations during construction.
+	DistanceCalls int
+}
+
+// entry is one slot of a node: a leaf entry (child == nil) holds an
+// object; a routing entry holds a routing object, a covering radius
+// and a subtree.
+type entry struct {
+	object  int
+	distPar float64 // distance to the parent routing object
+	radius  float64 // covering radius (routing entries only)
+	child   *node
+}
+
+type node struct {
+	leaf    bool
+	parent  *node
+	entries []entry
+}
+
+// New creates an empty M-tree with the given node capacity (minimum
+// 4). rng drives the split promotion choice.
+func New(dist DistFunc, capacity int, rng *rand.Rand) (*Tree, error) {
+	if dist == nil {
+		return nil, fmt.Errorf("mtree: nil distance")
+	}
+	if capacity < 4 {
+		return nil, fmt.Errorf("mtree: capacity %d, want >= 4", capacity)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("mtree: nil rng")
+	}
+	return &Tree{
+		dist:     dist,
+		capacity: capacity,
+		root:     &node{leaf: true},
+		rng:      rng,
+	}, nil
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.size }
+
+func (t *Tree) d(i, j int) float64 {
+	t.DistanceCalls++
+	return t.dist(i, j)
+}
+
+// Insert adds object id to the tree.
+func (t *Tree) Insert(id int) {
+	t.insertAt(t.root, id, math.NaN())
+	t.size++
+}
+
+// insertAt descends from n to the best leaf and inserts; distToParent
+// is the (already computed) distance of id to n's routing object, or
+// NaN at the root.
+func (t *Tree) insertAt(n *node, id int, distToParent float64) {
+	if n.leaf {
+		n.entries = append(n.entries, entry{object: id, distPar: distToParent})
+		if len(n.entries) > t.capacity {
+			t.split(n)
+		}
+		return
+	}
+	// Choose the routing entry: prefer one whose covering ball already
+	// contains the object (minimum distance); otherwise the one whose
+	// radius grows least.
+	bestIdx := -1
+	bestDist := math.Inf(1)
+	covered := false
+	dists := make([]float64, len(n.entries))
+	for i := range n.entries {
+		dists[i] = t.d(id, n.entries[i].object)
+		inside := dists[i] <= n.entries[i].radius
+		switch {
+		case inside && (!covered || dists[i] < bestDist):
+			covered = true
+			bestIdx, bestDist = i, dists[i]
+		case !covered && !inside:
+			if enlarge := dists[i] - n.entries[i].radius; bestIdx < 0 || enlarge < bestDist-getRadius(n, bestIdx) {
+				bestIdx, bestDist = i, dists[i]
+			}
+		}
+	}
+	e := &n.entries[bestIdx]
+	if dists[bestIdx] > e.radius {
+		e.radius = dists[bestIdx]
+	}
+	t.insertAt(e.child, id, dists[bestIdx])
+}
+
+func getRadius(n *node, i int) float64 {
+	if i < 0 {
+		return math.Inf(1)
+	}
+	return n.entries[i].radius
+}
+
+// split handles node overflow: two promoted routing objects partition
+// the entries (generalized hyperplane), and the parents are updated,
+// growing the tree at the root if needed.
+func (t *Tree) split(n *node) {
+	entries := n.entries
+	// Promotion: sample a few random pairs and keep the pair whose
+	// larger covering radius is smallest (a cheap approximation of the
+	// mM_RAD policy).
+	bestA, bestB := 0, 1
+	bestScore := math.Inf(1)
+	trials := 5
+	for trial := 0; trial < trials; trial++ {
+		a := t.rng.Intn(len(entries))
+		b := t.rng.Intn(len(entries))
+		if a == b {
+			continue
+		}
+		ra, rb := t.partitionScore(entries, a, b)
+		if s := math.Max(ra, rb); s < bestScore {
+			bestScore = s
+			bestA, bestB = a, b
+		}
+	}
+
+	objA := entries[bestA].object
+	objB := entries[bestB].object
+	nodeA := &node{leaf: n.leaf}
+	nodeB := &node{leaf: n.leaf}
+	var radA, radB float64
+	for _, e := range entries {
+		da := t.d(e.object, objA)
+		db := t.d(e.object, objB)
+		sub := e
+		if da <= db {
+			sub.distPar = da
+			nodeA.entries = append(nodeA.entries, sub)
+			if r := da + sub.radius; r > radA {
+				radA = r
+			}
+			if sub.child != nil {
+				sub.child.parent = nodeA
+			}
+		} else {
+			sub.distPar = db
+			nodeB.entries = append(nodeB.entries, sub)
+			if r := db + sub.radius; r > radB {
+				radB = r
+			}
+			if sub.child != nil {
+				sub.child.parent = nodeB
+			}
+		}
+	}
+	// Re-point children (value copies above kept the same *node
+	// pointers, so fix parents).
+	for i := range nodeA.entries {
+		if nodeA.entries[i].child != nil {
+			nodeA.entries[i].child.parent = nodeA
+		}
+	}
+	for i := range nodeB.entries {
+		if nodeB.entries[i].child != nil {
+			nodeB.entries[i].child.parent = nodeB
+		}
+	}
+
+	entryA := entry{object: objA, radius: radA, child: nodeA}
+	entryB := entry{object: objB, radius: radB, child: nodeB}
+
+	parent := n.parent
+	if parent == nil {
+		// Root split: grow the tree.
+		root := &node{leaf: false}
+		entryA.distPar = math.NaN()
+		entryB.distPar = math.NaN()
+		root.entries = []entry{entryA, entryB}
+		nodeA.parent = root
+		nodeB.parent = root
+		t.root = root
+		return
+	}
+	// Replace n's entry in the parent with entryA, append entryB. The
+	// promoted objects' distances to the parent's routing object are
+	// not recomputed (distPar is informational in this implementation;
+	// pruning relies on covering radii only).
+	for i := range parent.entries {
+		if parent.entries[i].child == n {
+			entryA.distPar = math.NaN()
+			entryB.distPar = math.NaN()
+			parent.entries[i] = entryA
+			parent.entries = append(parent.entries, entryB)
+			nodeA.parent = parent
+			nodeB.parent = parent
+			break
+		}
+	}
+	if len(parent.entries) > t.capacity {
+		t.split(parent)
+	}
+}
+
+// partitionScore estimates the two covering radii when promoting
+// entries a and b.
+func (t *Tree) partitionScore(entries []entry, a, b int) (float64, float64) {
+	var ra, rb float64
+	for i := range entries {
+		da := t.d(entries[i].object, entries[a].object) + entries[i].radius
+		db := t.d(entries[i].object, entries[b].object) + entries[i].radius
+		if da <= db {
+			if da > ra {
+				ra = da
+			}
+		} else {
+			if db > rb {
+				rb = db
+			}
+		}
+	}
+	return ra, rb
+}
+
+// Result is one query answer.
+type Result struct {
+	Index int
+	Dist  float64
+}
+
+// Stats reports query work.
+type Stats struct {
+	DistanceCalls int
+	NodesVisited  int
+}
+
+// pqItem is a priority-queue element: either a subtree with a
+// lower-bound distance or not used for results (results tracked
+// separately).
+type pqItem struct {
+	node *node
+	dmin float64
+}
+
+type pq []pqItem
+
+func (h pq) Len() int            { return len(h) }
+func (h pq) Less(i, j int) bool  { return h[i].dmin < h[j].dmin }
+func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pq) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// resultHeap keeps the k closest results, furthest on top.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
+}
+
+// KNN returns the k nearest objects to the query, exactly, using
+// best-first search over covering-radius lower bounds.
+func (t *Tree) KNN(qdist QueryDistFunc, k int) ([]Result, *Stats, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("mtree: k = %d, want >= 1", k)
+	}
+	stats := &Stats{}
+	best := make(resultHeap, 0, k+1)
+	tau := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[0].Dist
+	}
+	add := func(idx int, d float64) {
+		heap.Push(&best, Result{Index: idx, Dist: d})
+		if len(best) > k {
+			heap.Pop(&best)
+		}
+	}
+
+	queue := pq{{node: t.root, dmin: 0}}
+	for queue.Len() > 0 {
+		it := heap.Pop(&queue).(pqItem)
+		if it.dmin > tau() {
+			break // every remaining subtree is further away
+		}
+		stats.NodesVisited++
+		n := it.node
+		if n.leaf {
+			for i := range n.entries {
+				stats.DistanceCalls++
+				d := qdist(n.entries[i].object)
+				if d <= tau() {
+					add(n.entries[i].object, d)
+				}
+			}
+			continue
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			stats.DistanceCalls++
+			d := qdist(e.object)
+			// Routing objects are copies of objects stored in some
+			// leaf below; they are only used for pruning here and are
+			// reported when their leaf is reached (the covering-radius
+			// invariant guarantees that leaf is never pruned while the
+			// object still qualifies).
+			if dmin := d - e.radius; dmin <= tau() {
+				if dmin < 0 {
+					dmin = 0
+				}
+				heap.Push(&queue, pqItem{node: e.child, dmin: dmin})
+			}
+		}
+	}
+
+	out := make([]Result, len(best))
+	copy(out, best)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out, stats, nil
+}
+
+// Range returns all objects within eps of the query, exactly.
+func (t *Tree) Range(qdist QueryDistFunc, eps float64) ([]Result, *Stats, error) {
+	if eps < 0 {
+		return nil, nil, fmt.Errorf("mtree: eps = %g, want >= 0", eps)
+	}
+	stats := &Stats{}
+	var out []Result
+	var visit func(n *node)
+	visit = func(n *node) {
+		stats.NodesVisited++
+		for i := range n.entries {
+			e := &n.entries[i]
+			stats.DistanceCalls++
+			d := qdist(e.object)
+			if n.leaf {
+				if d <= eps {
+					out = append(out, Result{Index: e.object, Dist: d})
+				}
+				continue
+			}
+			if d <= eps {
+				out = append(out, Result{Index: e.object, Dist: d})
+			}
+			if d-e.radius <= eps {
+				visit(e.child)
+			}
+		}
+	}
+	visit(t.root)
+	// Routing objects also live in the leaves? No: in this
+	// implementation every object is inserted exactly once into a
+	// leaf; routing objects are *copies* of leaf objects, so the
+	// traversal above would double-count them. Deduplicate by id.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Index != out[j].Index {
+			return out[i].Index < out[j].Index
+		}
+		return out[i].Dist < out[j].Dist
+	})
+	dedup := out[:0]
+	for i, r := range out {
+		if i == 0 || r.Index != out[i-1].Index {
+			dedup = append(dedup, r)
+		}
+	}
+	out = dedup
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out, stats, nil
+}

@@ -1,0 +1,231 @@
+package mtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"emdsearch/internal/emd"
+	"emdsearch/internal/vecmath"
+)
+
+func fixture(n int, seed int64) ([][]float64, DistFunc) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	return pts, func(i, j int) float64 { return vecmath.L2(pts[i], pts[j]) }
+}
+
+func buildTree(t *testing.T, n int, capacity int, seed int64) ([][]float64, *Tree) {
+	t.Helper()
+	pts, dist := fixture(n, seed)
+	tree, err := New(dist, capacity, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tree.Insert(i)
+	}
+	return pts, tree
+}
+
+func bruteKNN(pts [][]float64, q []float64, k int) []Result {
+	all := make([]Result, len(pts))
+	for i := range pts {
+		all[i] = Result{Index: i, Dist: vecmath.L2(q, pts[i])}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Index < all[j].Index
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(nil, 8, rng); err == nil {
+		t.Error("accepted nil distance")
+	}
+	if _, err := New(func(i, j int) float64 { return 0 }, 2, rng); err == nil {
+		t.Error("accepted capacity < 4")
+	}
+	if _, err := New(func(i, j int) float64 { return 0 }, 8, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	pts, tree := buildTree(t, 600, 8, 3)
+	if tree.Len() != 600 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		q := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		qd := func(i int) float64 { return vecmath.L2(q, pts[i]) }
+		for _, k := range []int{1, 4, 15} {
+			got, stats, err := tree.KNN(qd, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteKNN(pts, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results, want %d", k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Index != want[i].Index || math.Abs(got[i].Dist-want[i].Dist) > 1e-12 {
+					t.Fatalf("k=%d result %d: got %+v, want %+v", k, i, got[i], want[i])
+				}
+			}
+			if stats.DistanceCalls > 3*len(pts) {
+				t.Errorf("excessive distance calls: %d for %d points", stats.DistanceCalls, len(pts))
+			}
+		}
+	}
+}
+
+func TestKNNNoDuplicates(t *testing.T) {
+	pts, tree := buildTree(t, 300, 6, 7)
+	q := []float64{5, 5}
+	got, _, err := tree.KNN(func(i int) float64 { return vecmath.L2(q, pts[i]) }, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, r := range got {
+		if seen[r.Index] {
+			t.Fatalf("duplicate result index %d", r.Index)
+		}
+		seen[r.Index] = true
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	pts, tree := buildTree(t, 400, 8, 11)
+	q := []float64{2, 8}
+	qd := func(i int) float64 { return vecmath.L2(q, pts[i]) }
+	for _, eps := range []float64{0, 1, 3, 20} {
+		got, _, err := tree.Range(qd, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []Result
+		for i := range pts {
+			if d := qd(i); d <= eps {
+				want = append(want, Result{Index: i, Dist: d})
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Dist != want[j].Dist {
+				return want[i].Dist < want[j].Dist
+			}
+			return want[i].Index < want[j].Index
+		})
+		if len(got) != len(want) {
+			t.Fatalf("eps=%g: %d results, want %d", eps, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("eps=%g result %d: got %+v, want %+v", eps, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	_, tree := buildTree(t, 20, 4, 1)
+	if _, _, err := tree.KNN(func(int) float64 { return 0 }, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, _, err := tree.Range(func(int) float64 { return 0 }, -1); err == nil {
+		t.Error("accepted negative eps")
+	}
+}
+
+func TestPrunesOnLowDimensionalData(t *testing.T) {
+	pts, tree := buildTree(t, 3000, 12, 13)
+	q := []float64{5, 5}
+	_, stats, err := tree.KNN(func(i int) float64 { return vecmath.L2(q, pts[i]) }, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DistanceCalls > len(pts) {
+		t.Errorf("2-D M-tree evaluated %d distances for %d points; expected pruning", stats.DistanceCalls, len(pts))
+	}
+}
+
+func TestSmallTreesAllSizes(t *testing.T) {
+	// Exactness across the split boundary sizes.
+	for n := 1; n <= 40; n++ {
+		pts, tree := buildTree(t, n, 4, int64(n))
+		q := []float64{1, 1}
+		got, _, err := tree.KNN(func(i int) float64 { return vecmath.L2(q, pts[i]) }, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteKNN(pts, q, 3)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d results, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Index != want[i].Index {
+				t.Fatalf("n=%d result %d: got %+v, want %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEMDMTree: exactness over the Earth Mover's Distance, the
+// intended use in this repository.
+func TestEMDMTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const d, n = 8, 150
+	dist, err := emd.NewDist(emd.LinearCost(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hists := make([]emd.Histogram, n)
+	for i := range hists {
+		h := make(emd.Histogram, d)
+		for b := range h {
+			h[b] = rng.Float64()
+		}
+		hists[i] = vecmath.Normalize(h)
+	}
+	tree, err := New(func(i, j int) float64 { return dist.Distance(hists[i], hists[j]) }, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tree.Insert(i)
+	}
+	q := hists[42]
+	qd := func(i int) float64 { return dist.Distance(q, hists[i]) }
+	got, _, err := tree.KNN(qd, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]Result, n)
+	for i := range all {
+		all[i] = Result{Index: i, Dist: qd(i)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Index < all[j].Index
+	})
+	for i := 0; i < 6; i++ {
+		if got[i].Index != all[i].Index {
+			t.Fatalf("EMD M-tree result %d: got %+v, want %+v", i, got[i], all[i])
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RangeIDsStats reports the work of a RangeIDs query.
+type RangeIDsStats struct {
+	Pulled int
+	// AcceptedByUpper counts results certified by the upper bound
+	// alone — no exact EMD was computed for them.
+	AcceptedByUpper int
+	// Refinements counts exact computations (only for objects whose
+	// interval straddles eps).
+	Refinements int
+}
+
+// RangeIDs answers a membership range query — *which* objects lie
+// within eps — using a lower-bound ranking plus an upper-bound
+// function. Objects with upper bound <= eps are accepted without any
+// exact computation; objects with lower bound > eps are rejected
+// wholesale (the ranking stops there); only objects whose envelope
+// straddles eps are refined. For result sets where distances are not
+// needed (counting, filtering, candidate generation) this cuts exact
+// EMD work to the boundary cases only. The returned ids are exact —
+// the same set an exhaustive scan would produce — in ascending order.
+func RangeIDs(ranking Ranking, refine, upper func(index int) float64, eps float64) ([]int, *RangeIDsStats, error) {
+	if eps < 0 {
+		return nil, nil, fmt.Errorf("search: eps = %g, want >= 0", eps)
+	}
+	if upper == nil {
+		return nil, nil, fmt.Errorf("search: nil upper bound")
+	}
+	stats := &RangeIDsStats{}
+	var ids []int
+	for {
+		c, ok := ranking.Next()
+		if !ok {
+			break
+		}
+		stats.Pulled++
+		if c.Dist > eps {
+			break // lower bound: every remaining object is out
+		}
+		if ub := upper(c.Index); ub <= eps {
+			stats.AcceptedByUpper++
+			ids = append(ids, c.Index)
+			continue
+		}
+		stats.Refinements++
+		if refine(c.Index) <= eps {
+			ids = append(ids, c.Index)
+		}
+	}
+	sort.Ints(ids)
+	return ids, stats, nil
+}

@@ -1,0 +1,148 @@
+package search
+
+import (
+	"fmt"
+
+	"emdsearch/internal/emd"
+)
+
+// FilterStage is one lower-bounding filter in a multistep pipeline
+// (e.g. Red-IM or Red-EMD of the paper's Figure 10). Each stage owns
+// its database-side representation (typically precomputed reduced
+// vectors) and knows how to prepare the query side once per query.
+type FilterStage struct {
+	// Name identifies the stage in statistics and experiment tables.
+	Name string
+	// PrepareQuery maps the original query histogram to this stage's
+	// representation (e.g. applies the query reduction R1). It is
+	// called once per query.
+	PrepareQuery func(q emd.Histogram) emd.Histogram
+	// Distance computes the stage's filter distance between the
+	// prepared query and database item index.
+	Distance func(prepared emd.Histogram, index int) float64
+}
+
+// Searcher executes multistep k-NN and range queries over a database
+// of n items with an ordered chain of lower-bounding filter stages and
+// an exact refinement distance. Stage i must lower-bound stage i+1
+// item-wise, and the last stage must lower-bound Refine; this is
+// exactly the chaining requirement of Section 4 and is what guarantees
+// completeness (no false dismissals).
+//
+// With zero stages the Searcher degenerates to an exact sequential
+// scan, which is the paper's comparison baseline.
+type Searcher struct {
+	// N is the database size.
+	N int
+	// BaseRanking, when set, supplies the bottom of the filter chain
+	// as an incremental ranking (e.g. a k-d tree stream over database
+	// centroids) instead of an eager scan of Stages[0]. Its distances
+	// must lower-bound the first stage in Stages (or Refine, if Stages
+	// is empty). This removes the last O(n) component from the query
+	// path, realizing the paper's note that the reduced representation
+	// can be indexed in a multidimensional structure.
+	BaseRanking func(q emd.Histogram) (Ranking, error)
+	// Stages is the filter chain, cheapest and loosest first.
+	Stages []FilterStage
+	// Refine computes the exact distance (full-dimensional EMD)
+	// between the original query and database item index.
+	Refine func(q emd.Histogram, index int) float64
+}
+
+// buildRanking assembles the filter chain for one query and returns
+// the final ranking plus the per-stage evaluation counters.
+func (s *Searcher) buildRanking(q emd.Histogram) (Ranking, func() []int, error) {
+	var ranking Ranking
+	chainFrom := 0
+	scanned := 0
+	if s.BaseRanking != nil {
+		base, err := s.BaseRanking(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		ranking = base
+	} else if len(s.Stages) == 0 {
+		// Trivial all-zero filter: a valid lower bound that prunes
+		// nothing, yielding the sequential-scan behavior.
+		ranking = NewScanRanking(make([]float64, s.N))
+	} else {
+		first := s.Stages[0]
+		prepared := first.PrepareQuery(q)
+		dists := make([]float64, s.N)
+		for i := 0; i < s.N; i++ {
+			dists[i] = first.Distance(prepared, i)
+		}
+		ranking = NewScanRanking(dists)
+		chainFrom = 1
+		scanned = s.N
+	}
+
+	chained := make([]*ChainedRanking, 0, len(s.Stages)-chainFrom)
+	for _, stage := range s.Stages[chainFrom:] {
+		stagePrepared := stage.PrepareQuery(q)
+		dist := stage.Distance
+		cr := NewChainedRanking(ranking, func(index int) float64 {
+			return dist(stagePrepared, index)
+		})
+		chained = append(chained, cr)
+		ranking = cr
+	}
+
+	evals := func() []int {
+		if len(s.Stages) == 0 {
+			return nil
+		}
+		out := make([]int, 0, len(s.Stages))
+		if chainFrom == 1 {
+			out = append(out, scanned)
+		}
+		for _, cr := range chained {
+			out = append(out, cr.Evaluations)
+		}
+		return out
+	}
+	return ranking, evals, nil
+}
+
+// KNN answers a k-nearest-neighbor query for q.
+func (s *Searcher) KNN(q emd.Histogram, k int) ([]Result, *QueryStats, error) {
+	if s.Refine == nil {
+		return nil, nil, fmt.Errorf("search: Searcher has no refinement distance")
+	}
+	ranking, evals, err := s.buildRanking(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, stats, err := KNN(ranking, func(i int) float64 { return s.Refine(q, i) }, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.StageEvaluations = evals()
+	return results, stats, nil
+}
+
+// Range answers a range query: all items with exact distance <= eps.
+func (s *Searcher) Range(q emd.Histogram, eps float64) ([]Result, *QueryStats, error) {
+	if s.Refine == nil {
+		return nil, nil, fmt.Errorf("search: Searcher has no refinement distance")
+	}
+	ranking, evals, err := s.buildRanking(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, stats, err := Range(ranking, func(i int) float64 { return s.Refine(q, i) }, eps)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.StageEvaluations = evals()
+	return results, stats, nil
+}
+
+// Ranking returns the assembled filter ranking for q — the same chain
+// KNN and Range use internally, without the refinement step. Callers
+// can stack further (larger) lower bounds or the exact distance on top
+// with NewChainedRanking.
+func (s *Searcher) Ranking(q emd.Histogram) (Ranking, error) {
+	ranking, _, err := s.buildRanking(q)
+	return ranking, err
+}

@@ -1,0 +1,91 @@
+// Package stats provides small distance-distribution utilities used
+// for selectivity analysis and range-radius selection: quantiles,
+// selectivity at a radius, and summary statistics over a sample of
+// distances. The experiment harness and the Engine's epsilon
+// estimation build on it.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distribution is an immutable summary of a sample of distances.
+type Distribution struct {
+	sorted []float64
+	sum    float64
+}
+
+// NewDistribution copies and sorts the sample. Values must be finite
+// and non-negative (distances).
+func NewDistribution(values []float64) (*Distribution, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("stats: empty sample")
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	var sum float64
+	for i, v := range sorted {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("stats: invalid distance [%d] = %g", i, v)
+		}
+		sum += v
+	}
+	sort.Float64s(sorted)
+	return &Distribution{sorted: sorted, sum: sum}, nil
+}
+
+// Count returns the sample size.
+func (d *Distribution) Count() int { return len(d.sorted) }
+
+// Min returns the smallest distance.
+func (d *Distribution) Min() float64 { return d.sorted[0] }
+
+// Max returns the largest distance.
+func (d *Distribution) Max() float64 { return d.sorted[len(d.sorted)-1] }
+
+// Mean returns the arithmetic mean.
+func (d *Distribution) Mean() float64 { return d.sum / float64(len(d.sorted)) }
+
+// Quantile returns the p-quantile (nearest-rank, p in [0, 1]).
+func (d *Distribution) Quantile(p float64) float64 {
+	if p <= 0 {
+		return d.sorted[0]
+	}
+	if p >= 1 {
+		return d.sorted[len(d.sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(d.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d.sorted[idx]
+}
+
+// SelectivityAt returns the fraction of the sample at most eps.
+func (d *Distribution) SelectivityAt(eps float64) float64 {
+	idx := sort.SearchFloat64s(d.sorted, math.Nextafter(eps, math.Inf(1)))
+	return float64(idx) / float64(len(d.sorted))
+}
+
+// KthSmallest returns the k-th smallest distance (1-based). It panics
+// for k out of range, since that is always a caller bug.
+func (d *Distribution) KthSmallest(k int) float64 {
+	if k < 1 || k > len(d.sorted) {
+		panic(fmt.Sprintf("stats: KthSmallest(%d) on sample of %d", k, len(d.sorted)))
+	}
+	return d.sorted[k-1]
+}
+
+// Spread returns a contrast measure used to judge how indexable a
+// workload is: the ratio of the p-quantile to the median. Values close
+// to 1 at small p indicate concentrated distances (hard to prune);
+// small values indicate strong cluster structure.
+func (d *Distribution) Spread(p float64) float64 {
+	median := d.Quantile(0.5)
+	if median == 0 {
+		return 1
+	}
+	return d.Quantile(p) / median
+}

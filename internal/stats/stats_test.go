@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func dist(t *testing.T, vs ...float64) *Distribution {
+	t.Helper()
+	d, err := NewDistribution(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDistributionValidation(t *testing.T) {
+	if _, err := NewDistribution(nil); err == nil {
+		t.Error("accepted empty sample")
+	}
+	if _, err := NewDistribution([]float64{1, -2}); err == nil {
+		t.Error("accepted negative distance")
+	}
+	if _, err := NewDistribution([]float64{math.NaN()}); err == nil {
+		t.Error("accepted NaN")
+	}
+	if _, err := NewDistribution([]float64{math.Inf(1)}); err == nil {
+		t.Error("accepted Inf")
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	d := dist(t, 3, 1, 2, 4)
+	if d.Count() != 4 || d.Min() != 1 || d.Max() != 4 {
+		t.Errorf("count/min/max = %d/%g/%g", d.Count(), d.Min(), d.Max())
+	}
+	if d.Mean() != 2.5 {
+		t.Errorf("mean = %g", d.Mean())
+	}
+}
+
+func TestNewDistributionDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := NewDistribution(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 {
+		t.Error("input slice was sorted in place")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	d := dist(t, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.1, 1}, {0.5, 5}, {0.9, 9}, {1, 10}, {-1, 1}, {2, 10},
+	}
+	for _, tc := range cases {
+		if got := d.Quantile(tc.p); got != tc.want {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestSelectivityAt(t *testing.T) {
+	d := dist(t, 1, 2, 2, 3)
+	cases := []struct{ eps, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := d.SelectivityAt(tc.eps); got != tc.want {
+			t.Errorf("SelectivityAt(%g) = %g, want %g", tc.eps, got, tc.want)
+		}
+	}
+}
+
+func TestKthSmallest(t *testing.T) {
+	d := dist(t, 5, 1, 3)
+	if d.KthSmallest(1) != 1 || d.KthSmallest(2) != 3 || d.KthSmallest(3) != 5 {
+		t.Error("KthSmallest wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range KthSmallest did not panic")
+		}
+	}()
+	d.KthSmallest(4)
+}
+
+func TestSpread(t *testing.T) {
+	concentrated := dist(t, 9, 9.5, 10, 10.5, 11)
+	clustered := dist(t, 1, 1.1, 1.2, 10, 10.1, 10.2, 10.4, 10.5, 10.6, 10.7)
+	if s := concentrated.Spread(0.1); s < 0.8 {
+		t.Errorf("concentrated spread %g, want close to 1", s)
+	}
+	if s := clustered.Spread(0.1); s > 0.5 {
+		t.Errorf("clustered spread %g, want small", s)
+	}
+	zero := dist(t, 0, 0, 0)
+	if zero.Spread(0.1) != 1 {
+		t.Error("zero-median spread should be 1")
+	}
+}

@@ -1,0 +1,703 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+)
+
+// Initializer selects the rule used to construct the initial basic
+// feasible solution of the transportation simplex.
+type Initializer int
+
+const (
+	// Vogel uses Vogel's approximation method: repeatedly allocate at
+	// the cheapest cell of the row or column with the largest regret
+	// (difference between its two cheapest costs). It typically starts
+	// very close to the optimum and is the default.
+	Vogel Initializer = iota
+	// Northwest uses the northwest-corner rule. It ignores costs but is
+	// the textbook reference rule; tests use it to confirm that the
+	// pivoting machinery reaches the same optimum from a poor start.
+	Northwest
+	// Russell uses Russell's approximation method: allocation at the
+	// cell with the most negative c_ij - max-row-cost - max-column-cost.
+	Russell
+)
+
+// simplexState holds the mutable state of one transportation simplex
+// run. Rows are nodes 0..m-1 and columns are nodes m..m+n-1 of the
+// basis spanning tree.
+type simplexState struct {
+	m, n   int
+	cost   [][]float64
+	flow   [][]float64
+	basic  []bool // m*n cell -> in basis
+	adj    [][]int32
+	u, v   []float64
+	uSet   []bool
+	vSet   []bool
+	parent []int32 // node -> parent node in BFS
+	pCell  []int32 // node -> cell (i*n+j) connecting it to parent
+	queue  []int32
+	scale  float64 // magnitude of the largest cost, for tolerances
+	// cand is the candidate list for partial pricing: cells that had a
+	// negative reduced cost at the last full scan. Pivots price only
+	// this list; a full O(m*n) scan happens only when the list runs
+	// dry, which also certifies optimality.
+	cand []int32
+	// cycle is the reusable pivot-cycle buffer.
+	cycle []cycleCell
+	// Reusable Vogel initializer buffers.
+	vs, vd               []float64
+	rowActive, colActive []bool
+	rowMin1, rowMin2     []int32
+	colMin1, colMin2     []int32
+}
+
+// cycleCell is one cell of a pivot cycle with its +/- role.
+type cycleCell struct {
+	i, j int32
+	plus bool
+}
+
+// SolveSimplex solves p with the transportation simplex using the
+// Vogel initializer. See SolveSimplexFrom for details.
+func SolveSimplex(p Problem) (*Solution, error) {
+	return SolveSimplexFrom(p, Vogel)
+}
+
+// SolveSimplexFrom solves p with the transportation simplex starting
+// from the given initializer. The returned solution carries optimal
+// dual potentials; CheckOptimal can verify it independently. If the
+// pivot count exceeds the iteration budget, an error wrapping
+// ErrIterationLimit is returned.
+func SolveSimplexFrom(p Problem, init Initializer) (*Solution, error) {
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	m, n := len(p.Supply), len(p.Demand)
+	st := newSimplexState(m, n)
+	iter, err := st.run(p, init)
+	if err != nil {
+		return nil, err
+	}
+	st.computeDuals()
+	return &Solution{
+		Objective:  objective(p.Cost, st.flow),
+		Flow:       st.flow,
+		DualU:      st.u,
+		DualV:      st.v,
+		Iterations: iter,
+		Method:     "simplex",
+	}, nil
+}
+
+// newSimplexState allocates all buffers for an m x n solve.
+func newSimplexState(m, n int) *simplexState {
+	return &simplexState{
+		m: m, n: n,
+		flow:      newMatrix(m, n),
+		basic:     make([]bool, m*n),
+		adj:       make([][]int32, m+n),
+		u:         make([]float64, m),
+		v:         make([]float64, n),
+		uSet:      make([]bool, m),
+		vSet:      make([]bool, n),
+		parent:    make([]int32, m+n),
+		pCell:     make([]int32, m+n),
+		queue:     make([]int32, 0, m+n),
+		vs:        make([]float64, m),
+		vd:        make([]float64, n),
+		rowActive: make([]bool, m),
+		colActive: make([]bool, n),
+		rowMin1:   make([]int32, m),
+		rowMin2:   make([]int32, m),
+		colMin1:   make([]int32, n),
+		colMin2:   make([]int32, n),
+	}
+}
+
+// reset clears all per-solve state so the buffers can be reused.
+func (st *simplexState) reset() {
+	for i := range st.flow {
+		row := st.flow[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for i := range st.basic {
+		st.basic[i] = false
+	}
+	for i := range st.adj {
+		st.adj[i] = st.adj[i][:0]
+	}
+	st.cand = st.cand[:0]
+	st.scale = 0
+}
+
+// run executes one full solve on the (possibly reused) state and
+// returns the pivot count. On return st.flow holds the optimal flow
+// and computeDuals-fresh u/v are available to the caller.
+func (st *simplexState) run(p Problem, init Initializer) (int, error) {
+	st.reset()
+	st.cost = p.Cost
+	for i := range p.Cost {
+		for _, c := range p.Cost[i] {
+			if c > st.scale {
+				st.scale = c
+			}
+		}
+	}
+	if st.scale == 0 {
+		st.scale = 1
+	}
+
+	switch init {
+	case Vogel:
+		st.initVogel(p.Supply, p.Demand)
+	case Northwest:
+		st.initNorthwest(p.Supply, p.Demand)
+	case Russell:
+		st.initRussell(p.Supply, p.Demand)
+	default:
+		return 0, fmt.Errorf("transport: unknown initializer %d", init)
+	}
+	st.patchBasis()
+
+	// Pivot until no entering cell remains. The budget is generous:
+	// well-behaved instances pivot O(m+n) times.
+	maxIter := 200 * (st.m + st.n + 10)
+	tol := 1e-10 * st.scale
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		st.computeDuals()
+		ei, ej, ok := st.entering(tol)
+		if !ok {
+			break
+		}
+		st.pivot(ei, ej)
+	}
+	if iter == maxIter {
+		return 0, fmt.Errorf("transport: simplex on %dx%d problem: %w", st.m, st.n, ErrIterationLimit)
+	}
+	return iter, nil
+}
+
+func newMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return out
+}
+
+// addBasic inserts cell (i,j) into the basis and adjacency lists.
+func (st *simplexState) addBasic(i, j int) {
+	cell := i*st.n + j
+	if st.basic[cell] {
+		return
+	}
+	st.basic[cell] = true
+	st.adj[i] = append(st.adj[i], int32(st.m+j))
+	st.adj[st.m+j] = append(st.adj[st.m+j], int32(i))
+}
+
+// removeBasic removes cell (i,j) from the basis and adjacency lists.
+func (st *simplexState) removeBasic(i, j int) {
+	cell := i*st.n + j
+	st.basic[cell] = false
+	st.adj[i] = removeNode(st.adj[i], int32(st.m+j))
+	st.adj[st.m+j] = removeNode(st.adj[st.m+j], int32(i))
+}
+
+func removeNode(list []int32, node int32) []int32 {
+	for k, x := range list {
+		if x == node {
+			list[k] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// initNorthwest builds the initial solution with the northwest-corner
+// rule, producing exactly m+n-1 basic cells (degenerate zeros
+// included).
+func (st *simplexState) initNorthwest(supply, demand []float64) {
+	s := append([]float64(nil), supply...)
+	d := append([]float64(nil), demand...)
+	i, j := 0, 0
+	for i < st.m && j < st.n {
+		q := math.Min(s[i], d[j])
+		st.flow[i][j] = q
+		st.addBasic(i, j)
+		s[i] -= q
+		d[j] -= q
+		if i == st.m-1 && j == st.n-1 {
+			break
+		}
+		// Advance in exactly one direction to keep the basis a tree;
+		// on ties prefer the row unless it is the last row.
+		if s[i] <= d[j] && i < st.m-1 {
+			i++
+		} else {
+			j++
+		}
+	}
+}
+
+// initVogel builds the initial solution with Vogel's approximation
+// method. Each allocation deactivates exactly one row or column, which
+// keeps the allocated cells acyclic; patchBasis completes the spanning
+// tree afterwards if fewer than m+n-1 cells were created.
+func (st *simplexState) initVogel(supply, demand []float64) {
+	m, n := st.m, st.n
+	s := st.vs
+	d := st.vd
+	copy(s, supply)
+	copy(d, demand)
+	rowActive := st.rowActive
+	colActive := st.colActive
+	for i := range rowActive {
+		rowActive[i] = true
+	}
+	for j := range colActive {
+		colActive[j] = true
+	}
+	activeRows, activeCols := m, n
+
+	// rowMin1/rowMin2 cache the indices of the two cheapest active
+	// columns per row (and vice versa); they are recomputed lazily
+	// when one of the cached entries deactivates.
+	rowMin1, rowMin2 := st.rowMin1, st.rowMin2
+	colMin1, colMin2 := st.colMin1, st.colMin2
+	refreshRow := func(i int) {
+		m1, m2 := int32(-1), int32(-1)
+		row := st.cost[i]
+		for j := 0; j < n; j++ {
+			if !colActive[j] {
+				continue
+			}
+			if m1 < 0 || row[j] < row[m1] {
+				m2 = m1
+				m1 = int32(j)
+			} else if m2 < 0 || row[j] < row[m2] {
+				m2 = int32(j)
+			}
+		}
+		rowMin1[i], rowMin2[i] = m1, m2
+	}
+	refreshCol := func(j int) {
+		m1, m2 := int32(-1), int32(-1)
+		for i := 0; i < m; i++ {
+			if !rowActive[i] {
+				continue
+			}
+			if m1 < 0 || st.cost[i][j] < st.cost[m1][j] {
+				m2 = m1
+				m1 = int32(i)
+			} else if m2 < 0 || st.cost[i][j] < st.cost[m2][j] {
+				m2 = int32(i)
+			}
+		}
+		colMin1[j], colMin2[j] = m1, m2
+	}
+	for i := 0; i < m; i++ {
+		refreshRow(i)
+	}
+	for j := 0; j < n; j++ {
+		refreshCol(j)
+	}
+
+	for activeRows > 0 && activeCols > 0 {
+		// Pick the row or column with the largest regret.
+		bestPenalty := -1.0
+		bestIsRow := true
+		bestIdx := -1
+		for i := 0; i < m; i++ {
+			if !rowActive[i] {
+				continue
+			}
+			if rowMin1[i] >= 0 && !colActive[rowMin1[i]] ||
+				rowMin2[i] >= 0 && !colActive[rowMin2[i]] {
+				refreshRow(i)
+			}
+			if rowMin1[i] < 0 {
+				continue
+			}
+			p := math.Inf(1)
+			if rowMin2[i] >= 0 {
+				p = st.cost[i][rowMin2[i]] - st.cost[i][rowMin1[i]]
+			}
+			if p > bestPenalty {
+				bestPenalty, bestIsRow, bestIdx = p, true, i
+			}
+		}
+		for j := 0; j < n; j++ {
+			if !colActive[j] {
+				continue
+			}
+			if colMin1[j] >= 0 && !rowActive[colMin1[j]] ||
+				colMin2[j] >= 0 && !rowActive[colMin2[j]] {
+				refreshCol(j)
+			}
+			if colMin1[j] < 0 {
+				continue
+			}
+			p := math.Inf(1)
+			if colMin2[j] >= 0 {
+				p = st.cost[colMin2[j]][j] - st.cost[colMin1[j]][j]
+			}
+			if p > bestPenalty {
+				bestPenalty, bestIsRow, bestIdx = p, false, j
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+
+		var i, j int
+		if bestIsRow {
+			i = bestIdx
+			j = int(rowMin1[i])
+		} else {
+			j = bestIdx
+			i = int(colMin1[j])
+		}
+		q := math.Min(s[i], d[j])
+		st.flow[i][j] += q
+		st.addBasic(i, j)
+		s[i] -= q
+		d[j] -= q
+		// Deactivate exactly one side so the allocation graph stays
+		// acyclic; the surviving zero-mass side absorbs a degenerate
+		// allocation later.
+		if s[i] <= d[j] && activeRows > 1 || activeCols == 1 {
+			rowActive[i] = false
+			activeRows--
+		} else {
+			colActive[j] = false
+			activeCols--
+		}
+	}
+}
+
+// patchBasis extends the current basic cells to a spanning tree of the
+// m+n nodes by adding zero-flow cells that connect distinct components,
+// preferring cheap cells so the first dual solution is informative.
+func (st *simplexState) patchBasis() {
+	total := st.m + st.n
+	parent := make([]int, total)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	count := 0
+	for i := 0; i < st.m; i++ {
+		for j := 0; j < st.n; j++ {
+			if st.basic[i*st.n+j] {
+				count++
+				ri, rj := find(i), find(st.m+j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	for count < total-1 {
+		// Find the cheapest non-basic cell joining two components.
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 0; i < st.m; i++ {
+			for j := 0; j < st.n; j++ {
+				if st.basic[i*st.n+j] {
+					continue
+				}
+				if find(i) != find(st.m+j) && st.cost[i][j] < best {
+					best = st.cost[i][j]
+					bi, bj = i, j
+				}
+			}
+		}
+		if bi < 0 {
+			// Should be impossible: a bipartite graph with all cells
+			// available is connected.
+			panic("transport: patchBasis found no connecting cell")
+		}
+		st.addBasic(bi, bj)
+		parent[find(bi)] = find(st.m + bj)
+		count++
+	}
+}
+
+// computeDuals solves u_i + v_j = c_ij over the basis tree with
+// u_0 = 0, via BFS from node 0.
+func (st *simplexState) computeDuals() {
+	for i := range st.uSet {
+		st.uSet[i] = false
+	}
+	for j := range st.vSet {
+		st.vSet[j] = false
+	}
+	st.queue = st.queue[:0]
+	st.u[0] = 0
+	st.uSet[0] = true
+	st.queue = append(st.queue, 0)
+	for head := 0; head < len(st.queue); head++ {
+		node := st.queue[head]
+		if int(node) < st.m {
+			i := int(node)
+			for _, nb := range st.adj[node] {
+				j := int(nb) - st.m
+				if !st.vSet[j] {
+					st.v[j] = st.cost[i][j] - st.u[i]
+					st.vSet[j] = true
+					st.queue = append(st.queue, nb)
+				}
+			}
+		} else {
+			j := int(node) - st.m
+			for _, nb := range st.adj[node] {
+				i := int(nb)
+				if !st.uSet[i] {
+					st.u[i] = st.cost[i][j] - st.v[j]
+					st.uSet[i] = true
+					st.queue = append(st.queue, nb)
+				}
+			}
+		}
+	}
+}
+
+// entering returns a non-basic cell with negative reduced cost, or
+// ok=false when the current basis is optimal. It first prices the
+// candidate list (cells negative at the last full scan) and picks the
+// most negative still-valid entry; only when the list is exhausted
+// does it rescan the whole matrix, refilling the list. Optimality is
+// still certified by a clean full scan, so the result is exact.
+func (st *simplexState) entering(tol float64) (int, int, bool) {
+	// Price the surviving candidates.
+	if len(st.cand) > 0 {
+		bi, bj := -1, -1
+		best := -tol
+		kept := st.cand[:0]
+		for _, cell := range st.cand {
+			if st.basic[cell] {
+				continue
+			}
+			i := int(cell) / st.n
+			j := int(cell) % st.n
+			rc := st.cost[i][j] - st.u[i] - st.v[j]
+			if rc < -tol {
+				kept = append(kept, cell)
+				if rc < best {
+					best = rc
+					bi, bj = i, j
+				}
+			}
+		}
+		st.cand = kept
+		if bi >= 0 {
+			return bi, bj, true
+		}
+	}
+
+	// Full scan: find the most negative cell and refill the list.
+	maxCand := 4 * (st.m + st.n)
+	st.cand = st.cand[:0]
+	bi, bj := -1, -1
+	best := -tol
+	for i := 0; i < st.m; i++ {
+		ui := st.u[i]
+		row := st.cost[i]
+		base := i * st.n
+		for j := 0; j < st.n; j++ {
+			if st.basic[base+j] {
+				continue
+			}
+			rc := row[j] - ui - st.v[j]
+			if rc < -tol {
+				if len(st.cand) < maxCand {
+					st.cand = append(st.cand, int32(base+j))
+				}
+				if rc < best {
+					best = rc
+					bi, bj = i, j
+				}
+			}
+		}
+	}
+	return bi, bj, bi >= 0
+}
+
+// pivot brings cell (ei,ej) into the basis: it finds the unique cycle
+// the cell closes in the basis tree, shifts the maximal flow theta
+// around it and removes the blocking cell.
+func (st *simplexState) pivot(ei, ej int) {
+	// BFS in the basis tree from row node ei to column node m+ej.
+	start := int32(ei)
+	target := int32(st.m + ej)
+	for i := range st.parent {
+		st.parent[i] = -1
+	}
+	st.parent[start] = start
+	st.queue = st.queue[:0]
+	st.queue = append(st.queue, start)
+	found := false
+	for head := 0; head < len(st.queue) && !found; head++ {
+		node := st.queue[head]
+		for _, nb := range st.adj[node] {
+			if st.parent[nb] != -1 {
+				continue
+			}
+			st.parent[nb] = node
+			if int(node) < st.m {
+				st.pCell[nb] = int32(int(node)*st.n + (int(nb) - st.m))
+			} else {
+				st.pCell[nb] = int32(int(nb)*st.n + (int(node) - st.m))
+			}
+			if nb == target {
+				found = true
+				break
+			}
+			st.queue = append(st.queue, nb)
+		}
+	}
+	if !found {
+		panic("transport: basis is not a spanning tree")
+	}
+
+	// Walk the tree path target -> start. The entering cell has sign +;
+	// path cells alternate starting with - at the target end.
+	st.cycle = st.cycle[:0]
+	st.cycle = append(st.cycle, cycleCell{int32(ei), int32(ej), true})
+	node := target
+	plus := false
+	for node != start {
+		cell := int(st.pCell[node])
+		st.cycle = append(st.cycle, cycleCell{int32(cell / st.n), int32(cell % st.n), plus})
+		plus = !plus
+		node = st.parent[node]
+	}
+
+	// theta is the minimal flow on a minus cell; ties break toward the
+	// lexicographically smallest cell for deterministic pivoting.
+	theta := math.Inf(1)
+	li, lj := -1, -1
+	for _, c := range st.cycle {
+		if c.plus {
+			continue
+		}
+		f := st.flow[c.i][c.j]
+		if f < theta || (f == theta && (int(c.i) < li || int(c.i) == li && int(c.j) < lj)) {
+			theta = f
+			li, lj = int(c.i), int(c.j)
+		}
+	}
+	for _, c := range st.cycle {
+		if c.plus {
+			st.flow[c.i][c.j] += theta
+		} else {
+			st.flow[c.i][c.j] -= theta
+		}
+	}
+	// Clamp tiny negatives introduced by floating-point cancellation.
+	st.flow[li][lj] = 0
+	st.removeBasic(li, lj)
+	st.addBasic(ei, ej)
+}
+
+// initRussell builds the initial solution with Russell's approximation
+// method: with row potentials ubar_i = max over active j of c_ij and
+// column potentials vbar_j = max over active i, it repeatedly allocates
+// at the active cell with the most negative c_ij - ubar_i - vbar_j.
+// Start quality typically sits between Northwest and Vogel; the method
+// is provided for experimentation and as a third independent witness
+// in the initializer-equivalence tests.
+func (st *simplexState) initRussell(supply, demand []float64) {
+	m, n := st.m, st.n
+	s := st.vs
+	d := st.vd
+	copy(s, supply)
+	copy(d, demand)
+	rowActive := st.rowActive
+	colActive := st.colActive
+	for i := range rowActive {
+		rowActive[i] = true
+	}
+	for j := range colActive {
+		colActive[j] = true
+	}
+	activeRows, activeCols := m, n
+
+	ubar := make([]float64, m)
+	vbar := make([]float64, n)
+	refresh := func() {
+		for i := 0; i < m; i++ {
+			if !rowActive[i] {
+				continue
+			}
+			ubar[i] = math.Inf(-1)
+			for j := 0; j < n; j++ {
+				if colActive[j] && st.cost[i][j] > ubar[i] {
+					ubar[i] = st.cost[i][j]
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if !colActive[j] {
+				continue
+			}
+			vbar[j] = math.Inf(-1)
+			for i := 0; i < m; i++ {
+				if rowActive[i] && st.cost[i][j] > vbar[j] {
+					vbar[j] = st.cost[i][j]
+				}
+			}
+		}
+	}
+	refresh()
+
+	for activeRows > 0 && activeCols > 0 {
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if !rowActive[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if !colActive[j] {
+					continue
+				}
+				if delta := st.cost[i][j] - ubar[i] - vbar[j]; delta < best {
+					best = delta
+					bi, bj = i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		q := math.Min(s[bi], d[bj])
+		st.flow[bi][bj] += q
+		st.addBasic(bi, bj)
+		s[bi] -= q
+		d[bj] -= q
+		if s[bi] <= d[bj] && activeRows > 1 || activeCols == 1 {
+			rowActive[bi] = false
+			activeRows--
+		} else {
+			colActive[bj] = false
+			activeCols--
+		}
+		refresh()
+	}
+}

@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Solver is a reusable exact solver for transportation problems of one
+// fixed shape. It pools the simplex working state across calls, which
+// removes essentially all allocation from the hot path of query
+// processing (hundreds of small allocations per solve otherwise).
+// SolveValue returns only the optimal objective — the flow matrix
+// lives in pooled memory and is never exposed, so reuse is safe. Use
+// the package-level Solve/SolveSimplex when flows or duals are needed.
+//
+// A Solver is safe for concurrent use; each goroutine draws its own
+// state from the pool.
+type Solver struct {
+	m, n int
+	pool sync.Pool
+}
+
+// NewSolver creates a pooled solver for m x n problems.
+func NewSolver(m, n int) (*Solver, error) {
+	if m < 1 || n < 1 {
+		return nil, fmt.Errorf("transport: NewSolver(%d, %d): shape must be positive", m, n)
+	}
+	s := &Solver{m: m, n: n}
+	s.pool.New = func() interface{} { return newSimplexState(m, n) }
+	return s, nil
+}
+
+// Shape returns the problem shape this solver accepts.
+func (s *Solver) Shape() (m, n int) { return s.m, s.n }
+
+// SolveValue solves p and returns the optimal objective. The problem
+// shape must match the solver's. On the (rare) simplex iteration-limit
+// failure it falls back to the allocating SSP solver so callers always
+// get an exact value.
+func (s *Solver) SolveValue(p Problem) (float64, error) {
+	if len(p.Supply) != s.m || len(p.Demand) != s.n {
+		return 0, fmt.Errorf("transport: solver is %dx%d, problem is %dx%d",
+			s.m, s.n, len(p.Supply), len(p.Demand))
+	}
+	if err := Validate(p); err != nil {
+		return 0, err
+	}
+	st := s.pool.Get().(*simplexState)
+	_, err := st.run(p, Vogel)
+	if err != nil {
+		s.pool.Put(st)
+		if errors.Is(err, ErrIterationLimit) {
+			sol, sspErr := SolveSSP(p)
+			if sspErr != nil {
+				return 0, sspErr
+			}
+			return sol.Objective, nil
+		}
+		return 0, err
+	}
+	obj := objective(p.Cost, st.flow)
+	s.pool.Put(st)
+	return obj, nil
+}

@@ -1,0 +1,170 @@
+package vecmath
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// JacobiEigen computes the eigendecomposition of a symmetric matrix a
+// using the cyclic Jacobi rotation method. It returns the eigenvalues
+// in descending order and the corresponding eigenvectors as rows of the
+// returned matrix. The input is not modified.
+//
+// The method is O(d^3) per sweep and converges quadratically; it is
+// entirely sufficient for the covariance matrices of the PCA ablation
+// (d <= a few hundred) and avoids any dependency outside the standard
+// library.
+func JacobiEigen(a [][]float64) (values []float64, vectors [][]float64, err error) {
+	n := len(a)
+	for i, row := range a {
+		if len(row) != n {
+			return nil, nil, fmt.Errorf("vecmath: JacobiEigen requires a square matrix, row %d has %d columns for size %d", i, len(row), n)
+		}
+		for j := 0; j < n; j++ {
+			if !AlmostEqual(a[i][j], a[j][i], 1e-9) {
+				return nil, nil, fmt.Errorf("vecmath: JacobiEigen requires a symmetric matrix, a[%d][%d]=%g a[%d][%d]=%g", i, j, a[i][j], j, i, a[j][i])
+			}
+		}
+	}
+	if n == 0 {
+		return nil, nil, nil
+	}
+
+	m := CloneMatrix(a)
+	// v starts as the identity and accumulates the rotations; its
+	// columns are the eigenvectors of a.
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v[i][i] = 1
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagonalNorm(m)
+		if off < 1e-14 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-18 {
+					continue
+				}
+				rotate(m, v, p, q)
+			}
+		}
+		if sweep == maxSweeps-1 && offDiagonalNorm(m) > 1e-8 {
+			return nil, nil, fmt.Errorf("vecmath: JacobiEigen did not converge after %d sweeps (off-diagonal norm %g)", maxSweeps, offDiagonalNorm(m))
+		}
+	}
+
+	// Extract eigenpairs and sort by descending eigenvalue.
+	type pair struct {
+		value  float64
+		vector []float64
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		vec := make([]float64, n)
+		for r := 0; r < n; r++ {
+			vec[r] = v[r][i]
+		}
+		pairs[i] = pair{value: m[i][i], vector: vec}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].value > pairs[j].value })
+
+	values = make([]float64, n)
+	vectors = make([][]float64, n)
+	for i, p := range pairs {
+		values[i] = p.value
+		vectors[i] = p.vector
+	}
+	return values, vectors, nil
+}
+
+// offDiagonalNorm returns the Frobenius norm of the strictly upper
+// triangle of m.
+func offDiagonalNorm(m [][]float64) float64 {
+	var sum float64
+	n := len(m)
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += m[i][j] * m[i][j]
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// rotate applies one Jacobi rotation eliminating m[p][q], updating the
+// accumulated eigenvector matrix v alongside.
+func rotate(m, v [][]float64, p, q int) {
+	n := len(m)
+	apq := m[p][q]
+	theta := (m[q][q] - m[p][p]) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+
+	for k := 0; k < n; k++ {
+		mkp, mkq := m[k][p], m[k][q]
+		m[k][p] = c*mkp - s*mkq
+		m[k][q] = s*mkp + c*mkq
+	}
+	for k := 0; k < n; k++ {
+		mpk, mqk := m[p][k], m[q][k]
+		m[p][k] = c*mpk - s*mqk
+		m[q][k] = s*mpk + c*mqk
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v[k][p], v[k][q]
+		v[k][p] = c*vkp - s*vkq
+		v[k][q] = s*vkp + c*vkq
+	}
+}
+
+// Covariance returns the sample covariance matrix of the given row
+// vectors (observations in rows, variables in columns).
+func Covariance(rows [][]float64) ([][]float64, error) {
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("vecmath: Covariance requires at least 2 observations, got %d", len(rows))
+	}
+	d := len(rows[0])
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("vecmath: Covariance row %d has %d columns, want %d", i, len(r), d)
+		}
+	}
+	mean := make([]float64, d)
+	for _, r := range rows {
+		for j, x := range r {
+			mean[j] += x
+		}
+	}
+	Scale(mean, 1/float64(len(rows)))
+
+	cov := NewMatrix(d, d)
+	for _, r := range rows {
+		for i := 0; i < d; i++ {
+			di := r[i] - mean[i]
+			if di == 0 {
+				continue
+			}
+			for j := i; j < d; j++ {
+				cov[i][j] += di * (r[j] - mean[j])
+			}
+		}
+	}
+	norm := 1 / float64(len(rows)-1)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] *= norm
+			cov[j][i] = cov[i][j]
+		}
+	}
+	return cov, nil
+}

@@ -1,0 +1,68 @@
+package emdsearch
+
+import (
+	"fmt"
+	"math"
+
+	"emdsearch/internal/emd"
+	"emdsearch/internal/search"
+)
+
+// Ranking streams database items in ascending order of their *exact*
+// EMD to a query, lazily: each Next call refines only as many
+// candidates as the filter chain requires to certify the next result.
+// This is the incremental form of k-NN — callers that do not know k in
+// advance (result browsing, top-k with early user cutoff) pull until
+// satisfied.
+type Ranking struct {
+	inner search.Ranking
+}
+
+// Next returns the next closest item and its exact EMD, or ok = false
+// when the database is exhausted.
+func (r *Ranking) Next() (index int, dist float64, ok bool) {
+	for {
+		c, ok := r.inner.Next()
+		if !ok {
+			return 0, 0, false
+		}
+		if math.IsInf(c.Dist, 1) {
+			continue // soft-deleted item
+		}
+		return c.Index, c.Dist, true
+	}
+}
+
+// Rank starts an incremental exact ranking for q. Internally the
+// engine's filter chain is extended by one final chained stage whose
+// "filter" is the exact EMD itself — since every prior stage
+// lower-bounds it, the chained ranking (Figure 12 of the paper) emits
+// items in true EMD order while refining lazily.
+func (e *Engine) Rank(q Histogram) (*Ranking, error) {
+	if err := emd.Validate(q); err != nil {
+		return nil, fmt.Errorf("emdsearch: query: %w", err)
+	}
+	if len(q) != e.Dim() {
+		return nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	}
+	if err := e.ensureSearcher(); err != nil {
+		return nil, err
+	}
+	vectors := e.store.Vectors()
+
+	// Build the filter ranking exactly as a query would (including an
+	// indexed base ranking, if configured)...
+	base, err := e.searcher.Ranking(q)
+	if err != nil {
+		return nil, err
+	}
+	// ...and chain the exact EMD on top as the final re-ranker;
+	// soft-deleted items rank at infinity and are skipped by Next.
+	exact := search.NewChainedRanking(base, func(i int) float64 {
+		if e.deleted[i] {
+			return math.Inf(1)
+		}
+		return e.dist.Distance(q, vectors[i])
+	})
+	return &Ranking{inner: exact}, nil
+}

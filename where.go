@@ -1,0 +1,57 @@
+package emdsearch
+
+import (
+	"fmt"
+	"math"
+
+	"emdsearch/internal/emd"
+	"emdsearch/internal/search"
+)
+
+// KNNWhere answers a k-NN query restricted to items satisfying pred
+// (e.g. a label or metadata constraint — faceted similarity search).
+// Items failing the predicate are treated as infinitely far: the
+// filter chain still orders candidates, but only matching items are
+// refined and returned, so the query stays exact over the restricted
+// set. pred must be deterministic for the duration of the call.
+func (e *Engine) KNNWhere(q Histogram, k int, pred func(index int) bool) ([]Result, *QueryStats, error) {
+	if pred == nil {
+		return nil, nil, fmt.Errorf("emdsearch: nil predicate")
+	}
+	if err := emd.Validate(q); err != nil {
+		return nil, nil, fmt.Errorf("emdsearch: query: %w", err)
+	}
+	if len(q) != e.Dim() {
+		return nil, nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	}
+	if err := e.ensureSearcher(); err != nil {
+		return nil, nil, err
+	}
+	ranking, err := e.searcher.Ranking(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	vectors := e.store.Vectors()
+	results, stats, err := search.KNN(ranking, func(i int) float64 {
+		if e.deleted[i] || !pred(i) {
+			return math.Inf(1)
+		}
+		return e.dist.Distance(q, vectors[i])
+	}, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	live := results[:0]
+	for _, r := range results {
+		if !math.IsInf(r.Dist, 1) {
+			live = append(live, r)
+		}
+	}
+	return live, stats, nil
+}
+
+// KNNWithLabel is KNNWhere restricted to items carrying the given
+// label.
+func (e *Engine) KNNWithLabel(q Histogram, k int, label string) ([]Result, *QueryStats, error) {
+	return e.KNNWhere(q, k, func(i int) bool { return e.store.Item(i).Label == label })
+}

@@ -1,0 +1,101 @@
+package emdsearch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKNNWhereMatchesFilteredScan(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 150)
+	q := queries[0]
+	// Constrain to even indices; verify against a brute-force scan
+	// over the same subset.
+	pred := func(i int) bool { return i%2 == 0 }
+	got, _, err := eng.KNNWhere(q, 5, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		idx  int
+		dist float64
+	}
+	var want []res
+	for i := 0; i < eng.Len(); i++ {
+		if pred(i) {
+			want = append(want, res{i, eng.Distance(q, i)})
+		}
+	}
+	for i := 0; i < len(want); i++ {
+		for j := i + 1; j < len(want); j++ {
+			if want[j].dist < want[i].dist || (want[j].dist == want[i].dist && want[j].idx < want[i].idx) {
+				want[i], want[j] = want[j], want[i]
+			}
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i := range got {
+		if got[i].Index != want[i].idx || math.Abs(got[i].Dist-want[i].dist) > 1e-9 {
+			t.Fatalf("result %d: got %+v, want %+v", i, got[i], want[i])
+		}
+		if got[i].Index%2 != 0 {
+			t.Fatalf("constraint violated: index %d", got[i].Index)
+		}
+	}
+}
+
+func TestKNNWithLabel(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 120)
+	// Pick the label of item 0 and query within it.
+	label := eng.Label(0)
+	got, _, err := eng.KNNWithLabel(queries[0], 4, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no results for an existing label")
+	}
+	for _, r := range got {
+		if eng.Label(r.Index) != label {
+			t.Fatalf("result %d has label %q, want %q", r.Index, eng.Label(r.Index), label)
+		}
+	}
+	// Nonexistent label: empty result, no error.
+	none, _, err := eng.KNNWithLabel(queries[0], 4, "no-such-label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("got %d results for nonexistent label", len(none))
+	}
+}
+
+func TestKNNWhereValidation(t *testing.T) {
+	eng, queries := buildEngine(t, Options{}, 20)
+	if _, _, err := eng.KNNWhere(queries[0], 3, nil); err == nil {
+		t.Error("accepted nil predicate")
+	}
+	if _, _, err := eng.KNNWhere(Histogram{1}, 3, func(int) bool { return true }); err == nil {
+		t.Error("accepted bad query")
+	}
+}
+
+func TestKNNWhereRespectsDeletion(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 6, SampleSize: 8}, 40)
+	q := queries[0]
+	all, _, err := eng.KNNWhere(q, 1, func(int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Delete(all[0].Index); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := eng.KNNWhere(q, 1, func(int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) > 0 && after[0].Index == all[0].Index {
+		t.Error("deleted item returned by KNNWhere")
+	}
+}
