@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"emdsearch/internal/core"
-	"emdsearch/internal/emd"
-	"emdsearch/internal/lb"
 	"emdsearch/internal/search"
 )
 
@@ -36,41 +33,37 @@ type ApproxCertificate struct {
 // than the exact solver) upper-bounds it. Candidates are pulled in
 // lower-bound order until the certificate closes; the k candidates
 // with the smallest upper bounds are returned with their intervals.
-// Requires a built reduction (ReducedDims > 0 and Build called).
+// Requires a built reduction (ReducedDims > 0 and Build called). Safe
+// for concurrent use: the reduced database vectors come precomputed
+// from the engine snapshot and the greedy bound evaluator (whose
+// scratch state is goroutine-private) is drawn from a pool.
 func (e *Engine) ApproxKNN(q Histogram, k int) ([]ApproxResult, *ApproxCertificate, error) {
-	if err := emd.Validate(q); err != nil {
-		return nil, nil, fmt.Errorf("emdsearch: query: %w", err)
+	if err := e.validateQuery(q); err != nil {
+		return nil, nil, err
 	}
-	if len(q) != e.Dim() {
-		return nil, nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	s, err := e.snapshot()
+	if err != nil {
+		return nil, nil, err
 	}
-	if e.red == nil {
+	if s.red == nil {
 		return nil, nil, fmt.Errorf("emdsearch: ApproxKNN needs a built reduction (set ReducedDims and call Build)")
 	}
-	lower, err := core.NewReducedEMD(e.cost, e.red, e.red)
-	if err != nil {
-		return nil, nil, err
-	}
-	upper, err := lb.NewGreedyUpper(e.cost)
-	if err != nil {
-		return nil, nil, err
-	}
-	vectors := e.store.Vectors()
-	qr := e.red.Apply(q)
-	lowers := make([]float64, len(vectors))
-	for i, v := range vectors {
-		lowers[i] = lower.DistanceReduced(qr, e.red.Apply(v))
-	}
-	for i := range lowers {
-		if e.deleted[i] {
+	upper := s.greedyUpper()
+	defer s.putGreedy(upper)
+	qr := s.red.Apply(q)
+	lowers := make([]float64, len(s.vectors))
+	for i := range s.vectors {
+		if s.deleted[i] {
 			lowers[i] = math.Inf(1)
+			continue
 		}
+		lowers[i] = s.reduced.DistanceReduced(qr, s.reducedVecs[i])
 	}
 	intervals, cert, err := search.ApproxKNN(search.NewScanRanking(lowers), func(i int) float64 {
-		if e.deleted[i] {
+		if s.deleted[i] {
 			return math.Inf(1)
 		}
-		return upper.Distance(q, vectors[i])
+		return upper.Distance(q, s.vectors[i])
 	}, k)
 	if err != nil {
 		return nil, nil, err

@@ -23,7 +23,7 @@ func TestApproxKNNGuaranteesOnEngine(t *testing.T) {
 			t.Fatalf("true k-th %g outside certificate [%g, %g]", trueKth, cert.LowerK, cert.UpperK)
 		}
 		for _, r := range approx {
-			d := eng.Distance(q, r.Index)
+			d := exactDist(t, eng, q, r.Index)
 			if d < r.Lower-1e-9 || d > r.Upper+1e-9 {
 				t.Fatalf("item %d exact %g outside [%g, %g]", r.Index, d, r.Lower, r.Upper)
 			}

@@ -16,10 +16,14 @@ type BatchResult struct {
 }
 
 // BatchKNN answers many k-NN queries concurrently using up to workers
-// goroutines (0 means GOMAXPROCS). The query pipeline is shared and
-// read-only during the batch, so per-query state stays on each worker;
-// results arrive indexed by query position. The engine must not be
-// mutated while a batch is running.
+// goroutines (0 means GOMAXPROCS). The query pipeline snapshot is
+// built once and shared read-only by all workers; results arrive
+// indexed by query position. Like the single-query methods, BatchKNN
+// is safe to run while other goroutines mutate the engine — every
+// query in the batch answers over the snapshot current when it
+// started. Batch workers parallelize *across* queries; they compose
+// with Options.Workers (refinement parallelism *within* a query), so
+// keep the product of the two near GOMAXPROCS.
 func (e *Engine) BatchKNN(queries []Histogram, k, workers int) ([]BatchResult, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("emdsearch: empty batch")
@@ -34,7 +38,7 @@ func (e *Engine) BatchKNN(queries []Histogram, k, workers int) ([]BatchResult, e
 		workers = len(queries)
 	}
 	// Build the shared pipeline once, before fanning out.
-	if err := e.ensureSearcher(); err != nil {
+	if _, err := e.snapshot(); err != nil {
 		return nil, err
 	}
 

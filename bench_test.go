@@ -220,6 +220,50 @@ func BenchmarkFBOptimize(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineKNNParallel measures single-query latency of the
+// parallel refinement pool against the sequential path on a
+// refinement-heavy workload: high-dimensional spectra (d = 96, where
+// one exact EMD costs milliseconds) under a deliberately coarse filter
+// (d' = 6), so most of the query is spent in exact refinements — the
+// regime Options.Workers targets.
+func BenchmarkEngineKNNParallel(b *testing.B) {
+	const d = 96
+	ds, err := data.MusicSpectra(260, d, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vectors, queries, err := ds.Split(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, -1} {
+		name := "sequential"
+		if workers != 1 {
+			name = "workers=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng, err := NewEngine(ds.Cost, Options{ReducedDims: 6, SampleSize: 24, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, h := range vectors {
+				if _, err := eng.Add(ds.Items[i].Label, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := eng.Build(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.KNN(queries[i%len(queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineKNN measures end-to-end query latency with and
 // without the filter chain on a color-histogram corpus.
 func BenchmarkEngineKNN(b *testing.B) {

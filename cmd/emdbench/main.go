@@ -5,11 +5,18 @@
 //
 // Usage:
 //
-//	emdbench [-exp all|fig13..fig25|tab1..tab3] [-scale full|medium|quick] [-csv] [-seed N] [-dprime D]
+//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve] [-scale full|medium|quick] [-csv] [-seed N] [-dprime D]
+//	         [-workers N] [-concurrency N]
 //
 // The full scale approximates the paper's corpus sizes and can take
 // tens of minutes for the complete suite; quick finishes in a couple
 // of minutes.
+//
+// -exp serve runs the concurrent-serving benchmark instead of a paper
+// experiment: concurrent client goroutines (-concurrency) fire k-NN
+// queries, each refined by a per-query worker pool (-workers), while a
+// background writer keeps mutating the index. It reports throughput,
+// latency and the engine's aggregated Metrics.
 package main
 
 import (
@@ -29,8 +36,33 @@ func main() {
 		seedFlag  = flag.Int64("seed", 0, "override the experiment seed (0 keeps the default)")
 		dprime    = flag.Int("dprime", 0, "override the chain d' used by the pipeline experiments (0 keeps the scale default)")
 		recall    = flag.Bool("check-recall", false, "verify every pipeline result against an exhaustive scan (slow)")
+		workers   = flag.Int("workers", 1, "serve mode: refinement workers per query (negative = GOMAXPROCS)")
+		conc      = flag.Int("concurrency", 4, "serve mode: concurrent query clients")
 	)
 	flag.Parse()
+
+	if *expFlag == "serve" {
+		if *conc < 1 {
+			fmt.Fprintf(os.Stderr, "emdbench: -concurrency must be at least 1 (got %d)\n", *conc)
+			os.Exit(2)
+		}
+		sc := serveConfig{n: 300, d: 32, queries: 200, workers: *workers, concurrency: *conc, seed: *seedFlag}
+		switch *scaleFlag {
+		case "full":
+			sc.n, sc.d, sc.queries = 2000, 96, 1000
+		case "medium":
+			sc.n, sc.d, sc.queries = 800, 64, 400
+		case "quick":
+		default:
+			fmt.Fprintf(os.Stderr, "emdbench: unknown scale %q (want full, medium or quick)\n", *scaleFlag)
+			os.Exit(2)
+		}
+		if err := runServe(sc); err != nil {
+			fmt.Fprintf(os.Stderr, "emdbench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var cfg eval.Config
 	switch *scaleFlag {

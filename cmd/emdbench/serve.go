@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emdsearch"
+	"emdsearch/internal/data"
+)
+
+// serveConfig sizes the concurrent-serving benchmark.
+type serveConfig struct {
+	n, d, queries int
+	workers       int // per-query refinement workers (Options.Workers)
+	concurrency   int // concurrent query clients
+	seed          int64
+}
+
+// runServe benchmarks the engine as a concurrent query server: it
+// builds one engine and fires k-NN queries from `concurrency` client
+// goroutines, each query refining with `workers` goroutines, while a
+// background goroutine keeps mutating the index (Add) to exercise the
+// snapshot path. It reports throughput, latency and the engine's
+// aggregated Metrics.
+func runServe(cfg serveConfig) error {
+	ds, err := data.MusicSpectra(cfg.n+16, cfg.d, cfg.seed)
+	if err != nil {
+		return err
+	}
+	vecs, queries, err := ds.Split(16)
+	if err != nil {
+		return err
+	}
+	dprime := cfg.d / 8
+	if dprime < 2 {
+		dprime = 2
+	}
+	eng, err := emdsearch.NewEngine(ds.Cost, emdsearch.Options{
+		ReducedDims: dprime,
+		Workers:     cfg.workers,
+		Seed:        cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	for i, h := range vecs {
+		if _, err := eng.Add(ds.Items[i].Label, h); err != nil {
+			return err
+		}
+	}
+	if err := eng.Build(); err != nil {
+		return err
+	}
+
+	fmt.Printf("serve: n=%d d=%d d'=%d queries=%d concurrency=%d workers=%d\n",
+		len(vecs), cfg.d, dprime, cfg.queries, cfg.concurrency, cfg.workers)
+
+	// Background writer: one Add per millisecond, forcing snapshot
+	// rebuilds under load the way a live ingest would.
+	stopWriter := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stopWriter:
+				return
+			case <-tick.C:
+				if _, err := eng.Add("ingest", vecs[i%len(vecs)]); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	var (
+		next      int64
+		latencyNS int64
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < cfg.concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				qi := atomic.AddInt64(&next, 1) - 1
+				if qi >= int64(cfg.queries) {
+					return
+				}
+				q := queries[qi%int64(len(queries))]
+				t0 := time.Now()
+				if _, _, err := eng.KNN(q, 10); err != nil {
+					fmt.Printf("serve: query error: %v\n", err)
+					return
+				}
+				atomic.AddInt64(&latencyNS, int64(time.Since(t0)))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopWriter)
+	writerWG.Wait()
+
+	qps := float64(cfg.queries) / elapsed.Seconds()
+	meanLat := time.Duration(latencyNS / int64(cfg.queries))
+	fmt.Printf("served %d queries in %v: %.1f qps, mean latency %v\n",
+		cfg.queries, elapsed.Round(time.Millisecond), qps, meanLat.Round(time.Microsecond))
+
+	m := eng.Metrics()
+	fmt.Printf("metrics: knn=%d errors=%d snapshot_builds=%d pulled=%d refinements=%d skipped=%d\n",
+		m.KNNQueries, m.QueryErrors, m.SnapshotBuilds, m.Pulled, m.Refinements, m.RefinementsSkipped)
+	fmt.Printf("         filter=%v refine=%v query=%v\n",
+		m.FilterTime.Round(time.Millisecond), m.RefineTime.Round(time.Millisecond), m.QueryTime.Round(time.Millisecond))
+	for name, st := range m.Stages {
+		fmt.Printf("         stage %-12s evals=%-8d pruned=%-8d time=%v\n",
+			name, st.Evaluations, st.Pruned, st.Time.Round(time.Millisecond))
+	}
+	return nil
+}

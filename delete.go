@@ -7,8 +7,12 @@ import "fmt"
 // filter representations remain in place, but its refinement distance
 // is treated as infinite, so it can never appear in KNN, Range,
 // RangeIDs, Rank or ApproxKNN results. Space is reclaimed only by
-// rebuilding the engine from the surviving items.
+// rebuilding the engine from the surviving items. Safe for concurrent
+// use; queries already in flight keep answering over the snapshot
+// they started with and may still return the item.
 func (e *Engine) Delete(i int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if i < 0 || i >= e.store.Len() {
 		return fmt.Errorf("emdsearch: Delete(%d): index out of range [0, %d)", i, e.store.Len())
 	}
@@ -19,12 +23,20 @@ func (e *Engine) Delete(i int) error {
 		return fmt.Errorf("emdsearch: item %d already deleted", i)
 	}
 	e.deleted[i] = true
-	e.searcher = nil
+	e.snap = nil
 	return nil
 }
 
 // Deleted reports whether item i has been soft-deleted.
-func (e *Engine) Deleted(i int) bool { return e.deleted[i] }
+func (e *Engine) Deleted(i int) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.deleted[i]
+}
 
 // Alive returns the number of non-deleted items.
-func (e *Engine) Alive() int { return e.store.Len() - len(e.deleted) }
+func (e *Engine) Alive() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.Len() - len(e.deleted)
+}

@@ -5,7 +5,9 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"emdsearch/internal/cluster"
 	"emdsearch/internal/core"
@@ -77,6 +79,16 @@ type Options struct {
 	// PositionNorm is the Lp order of the position-based ground
 	// distance (default 2). Ignored without Positions.
 	PositionNorm float64
+	// Workers bounds the goroutines used for the exact-EMD refinement
+	// stage of a single KNN or Range query: 0 or 1 runs sequentially,
+	// n > 1 uses up to n goroutines, and a negative value uses
+	// GOMAXPROCS. Results are identical to the sequential path; only
+	// the work counters in QueryStats may differ slightly. Worthwhile
+	// when refinement dominates the query cost (large d); for small,
+	// cheap refinements the coordination overhead can outweigh the
+	// gain. Independent of BatchKNN's cross-query parallelism — when
+	// combining both, keep workers × batch concurrency near GOMAXPROCS.
+	Workers int
 	// Seed drives all randomized components; the default 0 is a valid
 	// fixed seed, so runs are reproducible unless the caller varies it.
 	Seed int64
@@ -98,16 +110,73 @@ func (o Options) withDefaults() Options {
 // Engine is the high-level similarity-search index: a histogram
 // database plus a multistep EMD query processor with a reduced-EMD
 // filter chain.
+//
+// An Engine is safe for concurrent use: any number of goroutines may
+// run KNN, Range, Rank, BatchKNN and the other query methods while
+// others call Add, Delete or Build. Queries operate on an immutable
+// snapshot of the prepared pipeline (reductions, reduced vectors,
+// cost matrices); mutations invalidate the snapshot, and the next
+// query rebuilds it. A query that started before a mutation completes
+// against the state it started with.
 type Engine struct {
-	opts     Options
-	cost     emd.CostMatrix
-	dist     *emd.Dist
-	store    *db.Database
-	red      *core.Reduction
-	searcher *search.Searcher  // rebuilt lazily after mutations
-	deleted  map[int]bool      // soft-deleted item ids
-	cascade  []*core.Reduction // nested hierarchy levels, finest first (nil without Hierarchy)
+	opts Options
+	cost emd.CostMatrix
+	dist *emd.Dist
+
+	// mu guards the mutable index state below. Queries hold it only
+	// long enough to obtain the current snapshot (or to install a
+	// fresh one); all per-query work happens on the snapshot without
+	// any lock held.
+	mu      sync.RWMutex
+	store   *db.Database
+	red     *core.Reduction
+	cascade []*core.Reduction // nested hierarchy levels, finest first (nil without Hierarchy)
+	deleted map[int]bool      // soft-deleted item ids
+	snap    *snapshot         // current immutable query pipeline, nil after mutations
+
+	metrics engineMetrics
 }
+
+// snapshot is an immutable view of everything the query path needs:
+// the assembled searcher with its filter chain, the original and
+// reduced database vectors, the reduction cascade and the derived
+// bound evaluators. Once built it is never mutated, so any number of
+// concurrent queries can share it without synchronization while
+// mutators install a replacement.
+type snapshot struct {
+	searcher *search.Searcher
+	vectors  []Histogram
+	deleted  map[int]bool // copied at build time; read-only afterwards
+	dist     *emd.Dist
+	dim      int
+
+	red         *core.Reduction
+	cascade     []*core.Reduction // coarsest first (nil without Hierarchy)
+	reduced     *core.ReducedEMD  // finest symmetric lower bound (nil when unreduced)
+	redUpper    *core.ReducedEMDUpper
+	reducedVecs []Histogram // finest-level reduced database vectors
+
+	// greedy hands out per-goroutine clones of the greedy-flow upper
+	// bound (its scratch buffer is not safe for concurrent use).
+	greedy sync.Pool
+}
+
+// refine is the exact-EMD refinement distance over the snapshot's
+// vectors, with soft-deleted items at infinity.
+func (s *snapshot) refine(q Histogram, i int) float64 {
+	if s.deleted[i] {
+		return math.Inf(1)
+	}
+	return s.dist.Distance(q, s.vectors[i])
+}
+
+// greedyUpper returns a goroutine-private greedy upper bound
+// evaluator; return it with putGreedy when done.
+func (s *snapshot) greedyUpper() *lb.GreedyUpper {
+	return s.greedy.Get().(*lb.GreedyUpper)
+}
+
+func (s *snapshot) putGreedy(g *lb.GreedyUpper) { s.greedy.Put(g) }
 
 // NewEngine creates an engine for histograms whose ground distance is
 // the given square cost matrix.
@@ -152,35 +221,65 @@ func NewEngine(cost CostMatrix, opts Options) (*Engine, error) {
 // returning its index. Adding invalidates the prepared query pipeline;
 // it is rebuilt transparently on the next query (the reduction matrix
 // itself is kept — re-run Build to re-derive it from the grown data).
+// Queries already in flight keep answering over the snapshot they
+// started with.
 func (e *Engine) Add(label string, h Histogram) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	id, err := e.store.Add(label, h)
 	if err != nil {
 		return 0, err
 	}
-	e.searcher = nil
+	e.snap = nil
 	return id, nil
 }
 
 // Len returns the number of indexed histograms.
-func (e *Engine) Len() int { return e.store.Len() }
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.Len()
+}
 
 // Dim returns the histogram dimensionality.
 func (e *Engine) Dim() int { return e.store.Dim() }
 
 // Label returns the label of item i.
-func (e *Engine) Label(i int) string { return e.store.Item(i).Label }
+func (e *Engine) Label(i int) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.Item(i).Label
+}
 
 // Vector returns the histogram of item i.
-func (e *Engine) Vector(i int) Histogram { return e.store.Vector(i) }
+func (e *Engine) Vector(i int) Histogram {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.Vector(i)
+}
+
+// SetWorkers changes the refinement worker bound (see Options.Workers)
+// at runtime. It invalidates the prepared pipeline; the next query
+// rebuilds it with the new bound.
+func (e *Engine) SetWorkers(workers int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts.Workers = workers
+	e.snap = nil
+}
 
 // Build derives the reduction matrix from the indexed data according
 // to the configured method. It must be called once after the initial
 // bulk load (and may be called again later to re-derive the reduction
-// from grown data). With ReducedDims == 0 it is a no-op.
+// from grown data). With ReducedDims == 0 it is a no-op. Build blocks
+// new queries only while installing the result; queries in flight
+// continue on the previous pipeline.
 func (e *Engine) Build() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.opts.ReducedDims == 0 {
 		e.red = nil
-		e.searcher = nil
+		e.snap = nil
 		return nil
 	}
 	if e.store.Len() == 0 {
@@ -191,7 +290,7 @@ func (e *Engine) Build() error {
 	var flows [][]float64
 	switch e.opts.Method {
 	case Adjacent:
-		r, err := core.Adjacent(e.Dim(), e.opts.ReducedDims)
+		r, err := core.Adjacent(e.store.Dim(), e.opts.ReducedDims)
 		if err != nil {
 			return err
 		}
@@ -236,7 +335,7 @@ func (e *Engine) Build() error {
 		}
 		e.cascade = cascade
 	}
-	e.searcher = nil
+	e.snap = nil
 	return nil
 }
 
@@ -306,37 +405,83 @@ func (e *Engine) buildCascade(finest *core.Reduction, flows [][]float64, rng *ra
 // Reduction returns the current reduction's assignment of original to
 // reduced dimensions, or nil when the engine runs unreduced.
 func (e *Engine) Reduction() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.red == nil {
 		return nil
 	}
 	return e.red.Assignment()
 }
 
-// ensureSearcher (re)builds the query pipeline for the current data.
-func (e *Engine) ensureSearcher() error {
-	if e.searcher != nil {
-		return nil
+// snapshot returns the current immutable query pipeline, building and
+// installing a fresh one if a mutation invalidated it. The fast path
+// is a single RLock.
+func (e *Engine) snapshot() (*snapshot, error) {
+	e.mu.RLock()
+	s := e.snap
+	e.mu.RUnlock()
+	if s != nil {
+		return s, nil
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.snap == nil {
+		s, err := e.buildSnapshotLocked()
+		if err != nil {
+			return nil, err
+		}
+		e.snap = s
+		e.metrics.snapshotBuilt()
+	}
+	return e.snap, nil
+}
+
+// resolveWorkers maps Options.Workers to an effective worker count.
+func resolveWorkers(w int) int {
+	if w < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+// buildSnapshotLocked assembles the query pipeline for the current
+// data. The caller must hold e.mu for writing.
+func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 	if e.store.Len() == 0 {
-		return fmt.Errorf("emdsearch: no indexed histograms")
+		return nil, fmt.Errorf("emdsearch: no indexed histograms")
 	}
 	vectors := e.store.Vectors()
+	deleted := make(map[int]bool, len(e.deleted))
+	for i := range e.deleted {
+		deleted[i] = true
+	}
+	snap := &snapshot{
+		vectors: vectors,
+		deleted: deleted,
+		dist:    e.dist,
+		dim:     e.store.Dim(),
+		red:     e.red,
+	}
+	greedyBase, err := lb.NewGreedyUpper(e.cost)
+	if err != nil {
+		return nil, err
+	}
+	snap.greedy.New = func() interface{} { return greedyBase.Clone() }
 	s := &search.Searcher{
-		N: len(vectors),
-		Refine: func(q Histogram, i int) float64 {
-			if e.deleted[i] {
-				return math.Inf(1)
-			}
-			return e.dist.Distance(q, vectors[i])
-		},
+		N:       len(vectors),
+		Workers: resolveWorkers(e.opts.Workers),
+		Refine:  snap.refine,
 	}
 	if e.opts.Positions != nil {
 		cb, err := lb.NewCentroid(e.opts.Positions, e.opts.Positions, e.opts.PositionNorm)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := cb.CheckAgainst(e.cost, 1e-6); err != nil {
-			return fmt.Errorf("emdsearch: Positions do not match the cost matrix: %w", err)
+			return nil, fmt.Errorf("emdsearch: Positions do not match the cost matrix: %w", err)
 		}
 		// Precompute database centroids and index them in a k-d tree:
 		// the centroid distance lower-bounds the EMD, so an incremental
@@ -348,7 +493,7 @@ func (e *Engine) ensureSearcher() error {
 		}
 		tree, err := kdtree.Build(centroids, e.opts.PositionNorm)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		positions := e.opts.Positions
 		s.BaseRanking = func(q Histogram) (search.Ranking, error) {
@@ -369,6 +514,7 @@ func (e *Engine) ensureSearcher() error {
 				levels = append(levels, e.cascade[i])
 			}
 		}
+		snap.cascade = levels
 
 		type levelState struct {
 			red     *core.Reduction
@@ -379,7 +525,7 @@ func (e *Engine) ensureSearcher() error {
 		for li, lr := range levels {
 			lred, err := core.NewReducedEMD(e.cost, lr, lr)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			lvecs := make([]Histogram, len(vectors))
 			for i, v := range vectors {
@@ -387,12 +533,21 @@ func (e *Engine) ensureSearcher() error {
 			}
 			states[li] = levelState{red: lr, reduced: lred, vecs: lvecs}
 		}
+		// The finest level's reduced data also serves the certified
+		// approximate and membership query paths (ApproxKNN, RangeIDs,
+		// EpsilonForCount), which previously re-derived it per query.
+		finest := states[len(states)-1]
+		snap.reduced = finest.reduced
+		snap.reducedVecs = finest.vecs
+		if snap.redUpper, err = core.NewReducedEMDUpper(e.cost, finest.red, finest.red); err != nil {
+			return nil, err
+		}
 
 		if !e.opts.DisableIMFilter {
 			coarsest := states[0]
 			im, err := lb.NewIM(coarsest.reduced.Cost())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			s.Stages = append(s.Stages, search.FilterStage{
 				Name:         "Red-IM",
@@ -415,8 +570,8 @@ func (e *Engine) ensureSearcher() error {
 					},
 				})
 			}
-			e.searcher = s
-			return nil
+			snap.searcher = s
+			return snap, nil
 		}
 		reduced := states[0].reduced
 		reducedVecs := states[0].vecs
@@ -424,9 +579,9 @@ func (e *Engine) ensureSearcher() error {
 			// Rectangular filter EMD: unreduced query against reduced
 			// database vectors. It dominates the symmetric reduced EMD
 			// item-wise, so chaining after Red-IM stays valid.
-			asym, err := core.NewReducedEMD(e.cost, core.Identity(e.Dim()), e.red)
+			asym, err := core.NewReducedEMD(e.cost, core.Identity(e.store.Dim()), e.red)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			s.Stages = append(s.Stages, search.FilterStage{
 				Name:         "Asym-Red-EMD",
@@ -445,24 +600,38 @@ func (e *Engine) ensureSearcher() error {
 			})
 		}
 	}
-	e.searcher = s
+	snap.searcher = s
+	return snap, nil
+}
+
+// validateQuery checks a query histogram against the engine's
+// dimensionality.
+func (e *Engine) validateQuery(q Histogram) error {
+	if err := emd.Validate(q); err != nil {
+		return fmt.Errorf("emdsearch: query: %w", err)
+	}
+	if len(q) != e.Dim() {
+		return fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	}
 	return nil
 }
 
 // KNN returns the k nearest neighbors of q under the exact EMD,
-// computed losslessly through the filter chain.
+// computed losslessly through the filter chain. Safe for concurrent
+// use.
 func (e *Engine) KNN(q Histogram, k int) ([]Result, *QueryStats, error) {
-	if err := emd.Validate(q); err != nil {
-		return nil, nil, fmt.Errorf("emdsearch: query: %w", err)
-	}
-	if len(q) != e.Dim() {
-		return nil, nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
-	}
-	if err := e.ensureSearcher(); err != nil {
+	if err := e.validateQuery(q); err != nil {
+		e.metrics.queryError()
 		return nil, nil, err
 	}
-	results, stats, err := e.searcher.KNN(q, k)
+	s, err := e.snapshot()
 	if err != nil {
+		e.metrics.queryError()
+		return nil, nil, err
+	}
+	results, stats, err := s.searcher.KNN(q, k)
+	if err != nil {
+		e.metrics.queryError()
 		return nil, nil, err
 	}
 	// Soft-deleted items surface with infinite distance when fewer
@@ -473,30 +642,53 @@ func (e *Engine) KNN(q Histogram, k int) ([]Result, *QueryStats, error) {
 			live = append(live, r)
 		}
 	}
+	e.metrics.observe(metricKNN, stats)
 	return live, stats, nil
 }
 
-// Range returns all items within exact EMD eps of q.
+// Range returns all items within exact EMD eps of q. Safe for
+// concurrent use.
 func (e *Engine) Range(q Histogram, eps float64) ([]Result, *QueryStats, error) {
-	if err := emd.Validate(q); err != nil {
-		return nil, nil, fmt.Errorf("emdsearch: query: %w", err)
-	}
-	if len(q) != e.Dim() {
-		return nil, nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
-	}
-	if err := e.ensureSearcher(); err != nil {
+	if err := e.validateQuery(q); err != nil {
+		e.metrics.queryError()
 		return nil, nil, err
 	}
-	return e.searcher.Range(q, eps)
+	s, err := e.snapshot()
+	if err != nil {
+		e.metrics.queryError()
+		return nil, nil, err
+	}
+	results, stats, err := s.searcher.Range(q, eps)
+	if err != nil {
+		e.metrics.queryError()
+		return nil, nil, err
+	}
+	e.metrics.observe(metricRange, stats)
+	return results, stats, nil
 }
 
-// Distance computes the exact EMD between q and indexed item i.
-func (e *Engine) Distance(q Histogram, i int) float64 {
-	return e.dist.Distance(q, e.store.Vector(i))
+// Distance computes the exact EMD between q and indexed item i. It
+// returns an error — rather than panicking — on an invalid query or
+// out-of-range index, matching the rest of the query API.
+func (e *Engine) Distance(q Histogram, i int) (float64, error) {
+	if err := e.validateQuery(q); err != nil {
+		return 0, err
+	}
+	e.mu.RLock()
+	if i < 0 || i >= e.store.Len() {
+		n := e.store.Len()
+		e.mu.RUnlock()
+		return 0, fmt.Errorf("emdsearch: Distance(%d): index out of range [0, %d)", i, n)
+	}
+	v := e.store.Vector(i)
+	e.mu.RUnlock()
+	return e.dist.Distance(q, v), nil
 }
 
 // Save persists the engine's data and reduction to w.
 func (e *Engine) Save(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.red != nil {
 		if _, ok := e.store.Reduction("engine"); !ok {
 			if err := e.store.Precompute("engine", e.red); err != nil {

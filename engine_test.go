@@ -9,6 +9,17 @@ import (
 	"emdsearch/internal/data"
 )
 
+// exactDist is the test-side shorthand for Engine.Distance, failing
+// the test on error.
+func exactDist(t *testing.T, e *Engine, q Histogram, i int) float64 {
+	t.Helper()
+	d, err := e.Distance(q, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 func buildEngine(t *testing.T, opts Options, n int) (*Engine, []Histogram) {
 	t.Helper()
 	ds, err := data.MusicSpectra(n+5, 32, 9)
@@ -138,7 +149,7 @@ func TestEngineRange(t *testing.T) {
 	// Cross-check against direct distances.
 	count := 0
 	for i := 0; i < eng.Len(); i++ {
-		if eng.Distance(q, i) <= 0.08 {
+		if exactDist(t, eng, q, i) <= 0.08 {
 			count++
 		}
 	}

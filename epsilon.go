@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"emdsearch/internal/core"
-	"emdsearch/internal/emd"
-	"emdsearch/internal/lb"
 	"emdsearch/internal/search"
 	"emdsearch/internal/stats"
 )
@@ -18,28 +15,27 @@ import (
 // upper bound dominates the exact EMD, at least `count` objects lie
 // within the returned radius. Typical use is result-size-targeted
 // range search ("give me roughly fifty matches") without guessing in
-// distance units. Requires a built reduction.
+// distance units. Requires a built reduction. Safe for concurrent use;
+// the reduced database vectors and the upper-bound cost matrix come
+// precomputed from the engine snapshot.
 func (e *Engine) EpsilonForCount(q Histogram, count int) (float64, error) {
-	if err := emd.Validate(q); err != nil {
-		return 0, fmt.Errorf("emdsearch: query: %w", err)
+	if err := e.validateQuery(q); err != nil {
+		return 0, err
 	}
-	if len(q) != e.Dim() {
-		return 0, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
-	}
-	if count < 1 || count > e.Len() {
-		return 0, fmt.Errorf("emdsearch: count %d out of range [1, %d]", count, e.Len())
-	}
-	if e.red == nil {
-		return 0, fmt.Errorf("emdsearch: EpsilonForCount needs a built reduction (set ReducedDims and call Build)")
-	}
-	upper, err := core.NewReducedEMDUpper(e.cost, e.red, e.red)
+	s, err := e.snapshot()
 	if err != nil {
 		return 0, err
 	}
-	qr := e.red.Apply(q)
-	uppers := make([]float64, e.Len())
-	for i := 0; i < e.Len(); i++ {
-		uppers[i] = upper.DistanceReduced(qr, e.red.Apply(e.store.Vector(i)))
+	if count < 1 || count > len(s.vectors) {
+		return 0, fmt.Errorf("emdsearch: count %d out of range [1, %d]", count, len(s.vectors))
+	}
+	if s.red == nil {
+		return 0, fmt.Errorf("emdsearch: EpsilonForCount needs a built reduction (set ReducedDims and call Build)")
+	}
+	qr := s.red.Apply(q)
+	uppers := make([]float64, len(s.vectors))
+	for i := range s.vectors {
+		uppers[i] = s.redUpper.DistanceReduced(qr, s.reducedVecs[i])
 	}
 	d, err := stats.NewDistribution(uppers)
 	if err != nil {
@@ -54,29 +50,24 @@ func (e *Engine) EpsilonForCount(q Histogram, count int) (float64, error) {
 // guaranteed result counts prefer EpsilonForCount, which needs no
 // exact EMDs at all.
 func (e *Engine) DistanceDistribution(q Histogram, sampleSize int) (*stats.Distribution, error) {
-	if err := emd.Validate(q); err != nil {
-		return nil, fmt.Errorf("emdsearch: query: %w", err)
-	}
-	if len(q) != e.Dim() {
-		return nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+	if err := e.validateQuery(q); err != nil {
+		return nil, err
 	}
 	if sampleSize < 1 {
 		return nil, fmt.Errorf("emdsearch: sample size %d, want >= 1", sampleSize)
 	}
-	n := e.Len()
-	if n == 0 {
-		return nil, fmt.Errorf("emdsearch: empty engine")
+	s, err := e.snapshot()
+	if err != nil {
+		return nil, err
 	}
-	if sampleSize > n {
-		sampleSize = n
-	}
+	n := len(s.vectors)
 	stride := n / sampleSize
 	if stride < 1 {
 		stride = 1
 	}
 	var dists []float64
 	for i := 0; i < n && len(dists) < sampleSize; i += stride {
-		dists = append(dists, e.Distance(q, i))
+		dists = append(dists, s.dist.Distance(q, s.vectors[i]))
 	}
 	return stats.NewDistribution(dists)
 }
@@ -86,48 +77,33 @@ func (e *Engine) DistanceDistribution(q Histogram, sampleSize int) (*stats.Distr
 // needed: items whose greedy-flow upper bound is already within eps
 // are accepted without an exact EMD computation; only items whose
 // [reduced-EMD lower bound, greedy upper bound] interval straddles eps
-// are refined. Returns ascending item ids.
+// are refined. Returns ascending item ids. Safe for concurrent use.
 func (e *Engine) RangeIDs(q Histogram, eps float64) ([]int, error) {
-	if err := emd.Validate(q); err != nil {
-		return nil, fmt.Errorf("emdsearch: query: %w", err)
-	}
-	if len(q) != e.Dim() {
-		return nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
-	}
-	if err := e.ensureSearcher(); err != nil {
+	if err := e.validateQuery(q); err != nil {
 		return nil, err
 	}
-	upper, err := lb.NewGreedyUpper(e.cost)
+	s, err := e.snapshot()
 	if err != nil {
 		return nil, err
 	}
-	vectors := e.store.Vectors()
-	var lowers []float64
-	if e.red != nil {
-		lower, err := core.NewReducedEMD(e.cost, e.red, e.red)
-		if err != nil {
-			return nil, err
+	upper := s.greedyUpper()
+	defer s.putGreedy(upper)
+	lowers := make([]float64, len(s.vectors))
+	if s.red != nil {
+		qr := s.red.Apply(q)
+		for i := range s.vectors {
+			lowers[i] = s.reduced.DistanceReduced(qr, s.reducedVecs[i])
 		}
-		qr := e.red.Apply(q)
-		lowers = make([]float64, len(vectors))
-		for i, v := range vectors {
-			lowers[i] = lower.DistanceReduced(qr, e.red.Apply(v))
-		}
-	} else {
-		lowers = make([]float64, len(vectors))
 	}
 	ids, _, err := search.RangeIDs(search.NewScanRanking(lowers),
 		func(i int) float64 {
-			if e.deleted[i] {
-				return math.Inf(1)
-			}
-			return e.dist.Distance(q, vectors[i])
+			return s.refine(q, i)
 		},
 		func(i int) float64 {
-			if e.deleted[i] {
+			if s.deleted[i] {
 				return math.Inf(1)
 			}
-			return upper.Distance(q, vectors[i])
+			return upper.Distance(q, s.vectors[i])
 		},
 		eps)
 	return ids, err

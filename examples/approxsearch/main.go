@@ -91,7 +91,10 @@ func main() {
 	fmt.Printf("\nsample query: top-5 with distance intervals (certificate: true 5th NN in [%.4f, %.4f], %d of %d candidates examined)\n",
 		cert.LowerK, cert.UpperK, cert.Pulled, eng.Len())
 	for rank, r := range approx {
-		exactD := eng.Distance(q, r.Index) // shown for demonstration only
+		exactD, err := eng.Distance(q, r.Index) // shown for demonstration only
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %d. image #%d (%s): interval [%.4f, %.4f], exact %.4f\n",
 			rank+1, r.Index, eng.Label(r.Index), r.Lower, r.Upper, exactD)
 	}

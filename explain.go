@@ -3,8 +3,6 @@ package emdsearch
 import (
 	"fmt"
 	"sort"
-
-	"emdsearch/internal/emd"
 )
 
 // FlowComponent is one mass movement of an optimal EMD flow: Mass
@@ -32,19 +30,16 @@ type Explanation struct {
 // retrieval this names the bins — colors, tiles, spectral bands —
 // whose displacement drives the dissimilarity.
 func (e *Engine) Explain(q Histogram, i int, topK int) (*Explanation, error) {
-	if err := emd.Validate(q); err != nil {
-		return nil, fmt.Errorf("emdsearch: query: %w", err)
+	if err := e.validateQuery(q); err != nil {
+		return nil, err
 	}
-	if len(q) != e.Dim() {
-		return nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
-	}
-	if i < 0 || i >= e.Len() {
-		return nil, fmt.Errorf("emdsearch: item %d out of range [0, %d)", i, e.Len())
+	if n := e.Len(); i < 0 || i >= n {
+		return nil, fmt.Errorf("emdsearch: item %d out of range [0, %d)", i, n)
 	}
 	if topK < 0 {
 		return nil, fmt.Errorf("emdsearch: topK = %d, want >= 0", topK)
 	}
-	dist, flow := e.dist.DistanceWithFlow(q, e.store.Vector(i))
+	dist, flow := e.dist.DistanceWithFlow(q, e.Vector(i))
 	var comps []FlowComponent
 	for from, row := range flow {
 		for to, mass := range row {

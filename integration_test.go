@@ -63,7 +63,7 @@ func TestFullLifecycle(t *testing.T) {
 	bruteKNN := func(e *Engine, q Histogram, k int) []Result {
 		all := make([]Result, e.Len())
 		for i := 0; i < e.Len(); i++ {
-			all[i] = Result{Index: i, Dist: e.Distance(q, i)}
+			all[i] = Result{Index: i, Dist: exactDist(t, e, q, i)}
 		}
 		for i := 0; i < len(all); i++ {
 			for j := i + 1; j < len(all); j++ {

@@ -137,6 +137,9 @@ func TestTightnessRatioDetectsOverestimate(t *testing.T) {
 // checking on; internal recall assertions fire on any completeness
 // violation.
 func TestExperimentsRunAtTinyScale(t *testing.T) {
+	if raceEnabled {
+		t.Skip("experiment sweep too slow under the race detector")
+	}
 	if testing.Short() {
 		t.Skip("experiments in -short mode")
 	}
@@ -166,6 +169,9 @@ func TestExperimentsRunAtTinyScale(t *testing.T) {
 // TestFig20PCAWorse asserts the ablation's headline: PCA tightness is
 // below the combining reduction's at every d'.
 func TestFig20PCAWorse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("experiment sweep too slow under the race detector")
+	}
 	if testing.Short() {
 		t.Skip("experiment in -short mode")
 	}
@@ -188,6 +194,9 @@ func TestFig20PCAWorse(t *testing.T) {
 // TestFig21AsymTighter asserts that the asymmetric reduction is at
 // least as tight as the symmetric one at every d'.
 func TestFig21AsymTighter(t *testing.T) {
+	if raceEnabled {
+		t.Skip("experiment sweep too slow under the race detector")
+	}
 	if testing.Short() {
 		t.Skip("experiment in -short mode")
 	}

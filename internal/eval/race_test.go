@@ -1,0 +1,11 @@
+//go:build race
+
+package eval
+
+// raceEnabled reports that this binary was built with -race. The
+// experiment smoke tests iterate every driver at tiny scale, which the
+// race detector slows past CI timeouts; they are skipped under -race
+// (the drivers are single-query sequential code — the concurrency they
+// exercise is covered by the race-enabled tests of the root package
+// and internal/search).
+const raceEnabled = true

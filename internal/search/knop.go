@@ -3,6 +3,7 @@ package search
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Result is one query answer: a database item and its exact distance.
@@ -11,15 +12,53 @@ type Result struct {
 	Dist  float64
 }
 
+// StageStats describes the work one named filter stage performed
+// during a single query — the per-stage view of the observability
+// layer. Stages appear in chain order (cheapest/loosest first).
+type StageStats struct {
+	// Name identifies the stage (e.g. "Red-IM", "Red-EMD", "Red-EMD-8",
+	// "Asym-Red-EMD").
+	Name string
+	// Evaluations counts how often this stage's filter distance was
+	// computed.
+	Evaluations int
+	// Pruned counts candidates this stage ruled out: items it evaluated
+	// that the next consumer (the following stage, or the refinement
+	// loop) never had to touch.
+	Pruned int
+	// Duration is the wall time spent inside this stage's distance
+	// function.
+	Duration time.Duration
+}
+
 // QueryStats records the work one query performed.
 type QueryStats struct {
 	// Pulled counts candidates drawn from the filter ranking.
 	Pulled int
 	// Refinements counts exact (full-dimensional EMD) computations.
 	Refinements int
+	// RefinementsSkipped counts candidates that were dispatched to the
+	// parallel refinement pool but discarded unrefined because the
+	// shared k-NN threshold had already dropped below their filter
+	// distance. Always 0 on the sequential path.
+	RefinementsSkipped int
+	// Workers is the number of goroutines that served the refinement
+	// stage (1 on the sequential path).
+	Workers int
 	// StageEvaluations counts filter evaluations per pipeline stage;
-	// filled by Searcher, left empty by the bare algorithms.
+	// filled by Searcher, left empty by the bare algorithms. It mirrors
+	// Stages[i].Evaluations and is kept for compact comparisons.
 	StageEvaluations []int
+	// Stages carries the named per-stage counters and wall times, in
+	// chain order; filled by Searcher, nil for the bare algorithms.
+	Stages []StageStats
+	// FilterTime is the wall time spent evaluating filter stages.
+	FilterTime time.Duration
+	// RefineTime is the time spent in exact refinements, summed across
+	// refinement workers (it can exceed TotalTime when Workers > 1).
+	RefineTime time.Duration
+	// TotalTime is the end-to-end wall time of the query.
+	TotalTime time.Duration
 }
 
 // KNN runs the KNOP k-nearest-neighbor algorithm of Figure 11 over a

@@ -1,0 +1,199 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// atomicDuration accumulates wall time from multiple goroutines.
+type atomicDuration struct{ ns int64 }
+
+func (a *atomicDuration) Add(d time.Duration) { atomic.AddInt64(&a.ns, int64(d)) }
+func (a *atomicDuration) Load() time.Duration { return time.Duration(atomic.LoadInt64(&a.ns)) }
+
+// atomicThreshold is a monotonically non-increasing float64 shared
+// between the candidate feeder and the refinement workers: the current
+// k-th neighbor distance (+Inf until k neighbors are known). Because
+// it only ever decreases, a reader observing c.Dist > threshold may
+// safely discard the candidate — the bound can only tighten further.
+type atomicThreshold struct{ bits uint64 }
+
+func newAtomicThreshold() *atomicThreshold {
+	t := &atomicThreshold{}
+	t.Store(math.Inf(1))
+	return t
+}
+
+func (t *atomicThreshold) Store(v float64) { atomic.StoreUint64(&t.bits, math.Float64bits(v)) }
+func (t *atomicThreshold) Load() float64   { return math.Float64frombits(atomic.LoadUint64(&t.bits)) }
+
+// neighborSet is the mutex-guarded k-best result set shared by the
+// refinement workers. Insertion keeps the (Dist, Index)-sorted order
+// of the sequential KNOP algorithm, so the final contents are
+// independent of the order in which workers complete.
+type neighborSet struct {
+	mu        sync.Mutex
+	k         int
+	results   []Result
+	threshold *atomicThreshold
+}
+
+func newNeighborSet(k int, threshold *atomicThreshold) *neighborSet {
+	return &neighborSet{k: k, results: make([]Result, 0, k+1), threshold: threshold}
+}
+
+// insert adds r, trims to k and publishes the new k-th distance.
+func (ns *neighborSet) insert(r Result) {
+	ns.mu.Lock()
+	pos := sort.Search(len(ns.results), func(i int) bool {
+		if ns.results[i].Dist != r.Dist {
+			return ns.results[i].Dist > r.Dist
+		}
+		return ns.results[i].Index > r.Index
+	})
+	ns.results = append(ns.results, Result{})
+	copy(ns.results[pos+1:], ns.results[pos:])
+	ns.results[pos] = r
+	if len(ns.results) > ns.k {
+		ns.results = ns.results[:ns.k]
+	}
+	if len(ns.results) == ns.k {
+		ns.threshold.Store(ns.results[ns.k-1].Dist)
+	}
+	ns.mu.Unlock()
+}
+
+// ParallelKNN is the concurrent form of the KNOP k-NN algorithm: it
+// pulls candidates from the lower-bounding filter ranking in ascending
+// order and refines them with up to `workers` goroutines. A shared
+// atomic threshold carries the current k-th neighbor distance; the
+// feeder stops — and in-flight workers skip — as soon as a candidate's
+// filter distance exceeds it. Dispatch is bounded (a small channel
+// buffer), so the feeder stays only one chunk ahead of the workers and
+// lazily chained filter stages are not evaluated further than the
+// sequential algorithm would, beyond that bounded look-ahead.
+//
+// The result set is exactly that of the sequential KNN: any candidate
+// left unrefined had a filter distance above the threshold at some
+// point, the threshold never increases, and the filter lower-bounds
+// the exact distance — so no unrefined item can belong to the answer.
+// Work counters may differ from the sequential path: candidates in
+// flight when the threshold tightens are refined speculatively
+// (counted in Refinements) or skipped (RefinementsSkipped).
+func ParallelKNN(ranking Ranking, refine func(index int) float64, k, workers int) ([]Result, *QueryStats, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("search: k = %d, want >= 1", k)
+	}
+	if workers <= 1 {
+		return KNN(ranking, refine, k)
+	}
+	threshold := newAtomicThreshold()
+	neighbors := newNeighborSet(k, threshold)
+	var refined, skipped int64
+
+	// The buffer is the dispatch chunk: the feeder can run at most
+	// workers + cap(dispatch) candidates ahead of the slowest refiner.
+	dispatch := make(chan Candidate, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range dispatch {
+				if c.Dist > threshold.Load() {
+					atomic.AddInt64(&skipped, 1)
+					continue
+				}
+				d := refine(c.Index)
+				atomic.AddInt64(&refined, 1)
+				neighbors.insert(Result{Index: c.Index, Dist: d})
+			}
+		}()
+	}
+
+	stats := &QueryStats{Workers: workers}
+	for {
+		c, ok := ranking.Next()
+		if !ok {
+			break
+		}
+		stats.Pulled++
+		if c.Dist > threshold.Load() {
+			// Lower-bounding filter in ascending order: every
+			// remaining item is at least this far away, and the
+			// threshold only tightens.
+			break
+		}
+		dispatch <- c
+	}
+	close(dispatch)
+	wg.Wait()
+
+	stats.Refinements = int(refined)
+	stats.RefinementsSkipped = int(skipped)
+	return neighbors.results, stats, nil
+}
+
+// ParallelRange is the concurrent form of the range query: candidates
+// whose filter distance is within eps are refined by up to `workers`
+// goroutines; items with exact distance <= eps are collected and
+// sorted by (distance, index) as in the sequential algorithm. The
+// result is identical to Range's.
+func ParallelRange(ranking Ranking, refine func(index int) float64, eps float64, workers int) ([]Result, *QueryStats, error) {
+	if eps < 0 {
+		return nil, nil, fmt.Errorf("search: eps = %g, want >= 0", eps)
+	}
+	if workers <= 1 {
+		return Range(ranking, refine, eps)
+	}
+	var (
+		mu      sync.Mutex
+		results []Result
+		refined int64
+	)
+	dispatch := make(chan Candidate, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range dispatch {
+				d := refine(c.Index)
+				atomic.AddInt64(&refined, 1)
+				if d <= eps {
+					mu.Lock()
+					results = append(results, Result{Index: c.Index, Dist: d})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	stats := &QueryStats{Workers: workers}
+	for {
+		c, ok := ranking.Next()
+		if !ok {
+			break
+		}
+		stats.Pulled++
+		if c.Dist > eps {
+			break
+		}
+		dispatch <- c
+	}
+	close(dispatch)
+	wg.Wait()
+
+	stats.Refinements = int(refined)
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Dist != results[j].Dist {
+			return results[i].Dist < results[j].Dist
+		}
+		return results[i].Index < results[j].Index
+	})
+	return results, stats, nil
+}

@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"time"
 
 	"emdsearch/internal/emd"
 )
@@ -31,6 +32,11 @@ type FilterStage struct {
 //
 // With zero stages the Searcher degenerates to an exact sequential
 // scan, which is the paper's comparison baseline.
+//
+// A Searcher is immutable after construction and safe for concurrent
+// use by any number of queries, provided the stage and refinement
+// functions are (the engine's stages close over immutable snapshot
+// state and a pooled solver, so they are).
 type Searcher struct {
 	// N is the database size.
 	N int
@@ -45,16 +51,29 @@ type Searcher struct {
 	// Stages is the filter chain, cheapest and loosest first.
 	Stages []FilterStage
 	// Refine computes the exact distance (full-dimensional EMD)
-	// between the original query and database item index.
+	// between the original query and database item index. It must be
+	// safe for concurrent invocation when Workers > 1.
 	Refine func(q emd.Histogram, index int) float64
+	// Workers bounds the goroutines used for the exact refinement
+	// stage of a single query; values <= 1 select the sequential KNOP
+	// path. The filter chain itself always runs on the calling
+	// goroutine — only refinements fan out.
+	Workers int
+}
+
+// stageProbe observes one stage of an assembled per-query chain.
+type stageProbe struct {
+	name  string
+	evals func() int
+	dur   *time.Duration
 }
 
 // buildRanking assembles the filter chain for one query and returns
-// the final ranking plus the per-stage evaluation counters.
-func (s *Searcher) buildRanking(q emd.Histogram) (Ranking, func() []int, error) {
+// the final ranking plus probes for the per-stage counters.
+func (s *Searcher) buildRanking(q emd.Histogram) (Ranking, []stageProbe, error) {
 	var ranking Ranking
 	chainFrom := 0
-	scanned := 0
+	probes := make([]stageProbe, 0, len(s.Stages))
 	if s.BaseRanking != nil {
 		base, err := s.BaseRanking(q)
 		if err != nil {
@@ -69,72 +88,159 @@ func (s *Searcher) buildRanking(q emd.Histogram) (Ranking, func() []int, error) 
 		first := s.Stages[0]
 		prepared := first.PrepareQuery(q)
 		dists := make([]float64, s.N)
+		start := time.Now()
 		for i := 0; i < s.N; i++ {
 			dists[i] = first.Distance(prepared, i)
 		}
+		scanDur := time.Since(start)
 		ranking = NewScanRanking(dists)
 		chainFrom = 1
-		scanned = s.N
+		scanned := s.N
+		dur := new(time.Duration)
+		*dur = scanDur
+		probes = append(probes, stageProbe{
+			name:  first.Name,
+			evals: func() int { return scanned },
+			dur:   dur,
+		})
 	}
 
-	chained := make([]*ChainedRanking, 0, len(s.Stages)-chainFrom)
 	for _, stage := range s.Stages[chainFrom:] {
 		stagePrepared := stage.PrepareQuery(q)
 		dist := stage.Distance
+		dur := new(time.Duration)
 		cr := NewChainedRanking(ranking, func(index int) float64 {
-			return dist(stagePrepared, index)
+			t0 := time.Now()
+			d := dist(stagePrepared, index)
+			*dur += time.Since(t0)
+			return d
 		})
-		chained = append(chained, cr)
+		probes = append(probes, stageProbe{
+			name:  stage.Name,
+			evals: func() int { return cr.Evaluations },
+			dur:   dur,
+		})
 		ranking = cr
 	}
-
-	evals := func() []int {
-		if len(s.Stages) == 0 {
-			return nil
-		}
-		out := make([]int, 0, len(s.Stages))
-		if chainFrom == 1 {
-			out = append(out, scanned)
-		}
-		for _, cr := range chained {
-			out = append(out, cr.Evaluations)
-		}
-		return out
-	}
-	return ranking, evals, nil
+	return ranking, probes, nil
 }
 
-// KNN answers a k-nearest-neighbor query for q.
+// finishStats fills the per-stage observability fields of stats from
+// the probes. Pruned of stage i is the number of its evaluations the
+// next consumer (stage i+1, or the candidate loop for the last stage)
+// never saw.
+func finishStats(stats *QueryStats, probes []stageProbe, total time.Duration) {
+	stats.TotalTime = total
+	if len(probes) == 0 {
+		return
+	}
+	stats.Stages = make([]StageStats, len(probes))
+	stats.StageEvaluations = make([]int, len(probes))
+	for i, p := range probes {
+		evals := p.evals()
+		consumed := stats.Pulled
+		if i+1 < len(probes) {
+			consumed = probes[i+1].evals()
+		}
+		pruned := evals - consumed
+		if pruned < 0 {
+			pruned = 0
+		}
+		stats.Stages[i] = StageStats{
+			Name:        p.name,
+			Evaluations: evals,
+			Pruned:      pruned,
+			Duration:    *p.dur,
+		}
+		stats.StageEvaluations[i] = evals
+		stats.FilterTime += *p.dur
+	}
+}
+
+// timedRefine wraps s.Refine for query q with a cumulative timer.
+// add must be goroutine-safe when the parallel path is in use; the
+// returned accumulate function reads the total afterwards.
+func (s *Searcher) timedRefine(q emd.Histogram, add func(time.Duration)) func(int) float64 {
+	return func(i int) float64 {
+		t0 := time.Now()
+		d := s.Refine(q, i)
+		add(time.Since(t0))
+		return d
+	}
+}
+
+// KNN answers a k-nearest-neighbor query for q. With Workers > 1 the
+// exact refinements of one query are computed by a bounded worker pool
+// sharing an atomic pruning threshold; results are identical to the
+// sequential path (work counters may differ slightly, since candidates
+// in flight when the threshold tightens are refined speculatively).
 func (s *Searcher) KNN(q emd.Histogram, k int) ([]Result, *QueryStats, error) {
 	if s.Refine == nil {
 		return nil, nil, fmt.Errorf("search: Searcher has no refinement distance")
 	}
-	ranking, evals, err := s.buildRanking(q)
+	start := time.Now()
+	ranking, probes, err := s.buildRanking(q)
 	if err != nil {
 		return nil, nil, err
 	}
-	results, stats, err := KNN(ranking, func(i int) float64 { return s.Refine(q, i) }, k)
+	var results []Result
+	var stats *QueryStats
+	if s.Workers > 1 {
+		refineTime := new(atomicDuration)
+		refine := s.timedRefine(q, refineTime.Add)
+		results, stats, err = ParallelKNN(ranking, refine, k, s.Workers)
+		if err == nil {
+			stats.RefineTime = refineTime.Load()
+		}
+	} else {
+		var refineTime time.Duration
+		refine := s.timedRefine(q, func(d time.Duration) { refineTime += d })
+		results, stats, err = KNN(ranking, refine, k)
+		if err == nil {
+			stats.RefineTime = refineTime
+			stats.Workers = 1
+		}
+	}
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.StageEvaluations = evals()
+	finishStats(stats, probes, time.Since(start))
 	return results, stats, nil
 }
 
 // Range answers a range query: all items with exact distance <= eps.
+// Like KNN it refines in parallel when Workers > 1.
 func (s *Searcher) Range(q emd.Histogram, eps float64) ([]Result, *QueryStats, error) {
 	if s.Refine == nil {
 		return nil, nil, fmt.Errorf("search: Searcher has no refinement distance")
 	}
-	ranking, evals, err := s.buildRanking(q)
+	start := time.Now()
+	ranking, probes, err := s.buildRanking(q)
 	if err != nil {
 		return nil, nil, err
 	}
-	results, stats, err := Range(ranking, func(i int) float64 { return s.Refine(q, i) }, eps)
+	var results []Result
+	var stats *QueryStats
+	if s.Workers > 1 {
+		refineTime := new(atomicDuration)
+		refine := s.timedRefine(q, refineTime.Add)
+		results, stats, err = ParallelRange(ranking, refine, eps, s.Workers)
+		if err == nil {
+			stats.RefineTime = refineTime.Load()
+		}
+	} else {
+		var refineTime time.Duration
+		refine := s.timedRefine(q, func(d time.Duration) { refineTime += d })
+		results, stats, err = Range(ranking, refine, eps)
+		if err == nil {
+			stats.RefineTime = refineTime
+			stats.Workers = 1
+		}
+	}
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.StageEvaluations = evals()
+	finishStats(stats, probes, time.Since(start))
 	return results, stats, nil
 }
 

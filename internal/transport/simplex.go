@@ -52,6 +52,8 @@ type simplexState struct {
 	rowActive, colActive []bool
 	rowMin1, rowMin2     []int32
 	colMin1, colMin2     []int32
+	// uf is the reusable union-find buffer of patchBasis.
+	uf []int32
 }
 
 // cycleCell is one cell of a pivot cycle with its +/- role.
@@ -114,6 +116,7 @@ func newSimplexState(m, n int) *simplexState {
 		rowMin2:   make([]int32, m),
 		colMin1:   make([]int32, n),
 		colMin2:   make([]int32, n),
+		uf:        make([]int32, m+n),
 	}
 }
 
@@ -388,15 +391,14 @@ func (st *simplexState) initVogel(supply, demand []float64) {
 // preferring cheap cells so the first dual solution is informative.
 func (st *simplexState) patchBasis() {
 	total := st.m + st.n
-	parent := make([]int, total)
+	parent := st.uf
 	for i := range parent {
-		parent[i] = i
+		parent[i] = int32(i)
 	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
+	find := func(x int) int {
+		for parent[x] != int32(x) {
 			parent[x] = parent[parent[x]]
-			x = parent[x]
+			x = int(parent[x])
 		}
 		return x
 	}
@@ -407,7 +409,7 @@ func (st *simplexState) patchBasis() {
 				count++
 				ri, rj := find(i), find(st.m+j)
 				if ri != rj {
-					parent[ri] = rj
+					parent[ri] = int32(rj)
 				}
 			}
 		}
@@ -433,7 +435,7 @@ func (st *simplexState) patchBasis() {
 			panic("transport: patchBasis found no connecting cell")
 		}
 		st.addBasic(bi, bj)
-		parent[find(bi)] = find(st.m + bj)
+		parent[find(bi)] = int32(find(st.m + bj))
 		count++
 	}
 }

@@ -1,0 +1,141 @@
+package emdsearch
+
+import (
+	"sync"
+	"time"
+)
+
+// StageMetrics aggregates one named filter stage's work across all
+// queries served since the engine was created.
+type StageMetrics struct {
+	// Evaluations is the total number of filter-distance computations.
+	Evaluations int64 `json:"evaluations"`
+	// Pruned is the total number of candidates this stage ruled out.
+	Pruned int64 `json:"pruned"`
+	// Time is the cumulative wall time spent in this stage.
+	Time time.Duration `json:"time_ns"`
+}
+
+// Metrics is a point-in-time aggregate of the work an Engine has
+// performed: query counts by kind, candidate/refinement totals,
+// cumulative per-stage filter effort and stage-level wall times. All
+// fields are totals since engine creation. The struct is plain data
+// and JSON-marshalable, so it drops straight into expvar:
+//
+//	expvar.Publish("emdsearch", expvar.Func(func() any {
+//	    return eng.Metrics()
+//	}))
+type Metrics struct {
+	// KNNQueries, RangeQueries and RankQueries count successfully
+	// served queries by kind (BatchKNN contributes to KNNQueries, one
+	// per query in the batch; KNNWhere and KNNWithLabel also count as
+	// KNN queries).
+	KNNQueries   int64 `json:"knn_queries"`
+	RangeQueries int64 `json:"range_queries"`
+	RankQueries  int64 `json:"rank_queries"`
+	// QueryErrors counts queries rejected with an error (invalid
+	// query, empty engine, ...).
+	QueryErrors int64 `json:"query_errors"`
+	// SnapshotBuilds counts how often the query pipeline was
+	// (re)assembled — once after each batch of mutations, not per
+	// query. A high rate signals interleaving mutations with queries.
+	SnapshotBuilds int64 `json:"snapshot_builds"`
+
+	// Pulled, Refinements and RefinementsSkipped are the summed
+	// QueryStats counters of all served KNN/Range queries.
+	Pulled             int64 `json:"pulled"`
+	Refinements        int64 `json:"refinements"`
+	RefinementsSkipped int64 `json:"refinements_skipped"`
+
+	// FilterTime and RefineTime are cumulative wall times of the
+	// filter and refinement stages; RefineTime sums across refinement
+	// workers. QueryTime is the cumulative end-to-end query wall time.
+	FilterTime time.Duration `json:"filter_time_ns"`
+	RefineTime time.Duration `json:"refine_time_ns"`
+	QueryTime  time.Duration `json:"query_time_ns"`
+
+	// Stages aggregates per-stage counters by stage name (e.g.
+	// "Red-IM", "Red-EMD", "Red-EMD-8", "Asym-Red-EMD").
+	Stages map[string]StageMetrics `json:"stages,omitempty"`
+}
+
+type metricKind int
+
+const (
+	metricKNN metricKind = iota
+	metricRange
+)
+
+// engineMetrics is the internal mutex-guarded accumulator behind
+// Engine.Metrics. Per-query observation is one short critical section;
+// contention is negligible next to the EMD work of any real query.
+type engineMetrics struct {
+	mu sync.Mutex
+	m  Metrics
+}
+
+func (em *engineMetrics) observe(kind metricKind, stats *QueryStats) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	switch kind {
+	case metricKNN:
+		em.m.KNNQueries++
+	case metricRange:
+		em.m.RangeQueries++
+	}
+	if stats == nil {
+		return
+	}
+	em.m.Pulled += int64(stats.Pulled)
+	em.m.Refinements += int64(stats.Refinements)
+	em.m.RefinementsSkipped += int64(stats.RefinementsSkipped)
+	em.m.FilterTime += stats.FilterTime
+	em.m.RefineTime += stats.RefineTime
+	em.m.QueryTime += stats.TotalTime
+	if len(stats.Stages) > 0 {
+		if em.m.Stages == nil {
+			em.m.Stages = make(map[string]StageMetrics, len(stats.Stages))
+		}
+		for _, st := range stats.Stages {
+			agg := em.m.Stages[st.Name]
+			agg.Evaluations += int64(st.Evaluations)
+			agg.Pruned += int64(st.Pruned)
+			agg.Time += st.Duration
+			em.m.Stages[st.Name] = agg
+		}
+	}
+}
+
+func (em *engineMetrics) rankStarted() {
+	em.mu.Lock()
+	em.m.RankQueries++
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) queryError() {
+	em.mu.Lock()
+	em.m.QueryErrors++
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) snapshotBuilt() {
+	em.mu.Lock()
+	em.m.SnapshotBuilds++
+	em.mu.Unlock()
+}
+
+// Metrics returns a consistent snapshot of the engine's cumulative
+// query metrics. Safe for concurrent use; the returned value is a
+// deep copy and never mutated afterwards.
+func (e *Engine) Metrics() Metrics {
+	e.metrics.mu.Lock()
+	defer e.metrics.mu.Unlock()
+	out := e.metrics.m
+	if e.metrics.m.Stages != nil {
+		out.Stages = make(map[string]StageMetrics, len(e.metrics.m.Stages))
+		for name, st := range e.metrics.m.Stages {
+			out.Stages[name] = st
+		}
+	}
+	return out
+}

@@ -1,10 +1,8 @@
 package emdsearch
 
 import (
-	"fmt"
 	"math"
 
-	"emdsearch/internal/emd"
 	"emdsearch/internal/search"
 )
 
@@ -14,6 +12,12 @@ import (
 // This is the incremental form of k-NN — callers that do not know k in
 // advance (result browsing, top-k with early user cutoff) pull until
 // satisfied.
+//
+// A Ranking is bound to the engine snapshot current when Rank was
+// called: it keeps answering consistently over that state even if the
+// engine is mutated afterwards. A single Ranking is not safe for
+// concurrent Next calls; create one per goroutine (they share the
+// snapshot, so this is cheap).
 type Ranking struct {
 	inner search.Ranking
 }
@@ -39,30 +43,27 @@ func (r *Ranking) Next() (index int, dist float64, ok bool) {
 // lower-bounds it, the chained ranking (Figure 12 of the paper) emits
 // items in true EMD order while refining lazily.
 func (e *Engine) Rank(q Histogram) (*Ranking, error) {
-	if err := emd.Validate(q); err != nil {
-		return nil, fmt.Errorf("emdsearch: query: %w", err)
-	}
-	if len(q) != e.Dim() {
-		return nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
-	}
-	if err := e.ensureSearcher(); err != nil {
+	if err := e.validateQuery(q); err != nil {
+		e.metrics.queryError()
 		return nil, err
 	}
-	vectors := e.store.Vectors()
-
+	s, err := e.snapshot()
+	if err != nil {
+		e.metrics.queryError()
+		return nil, err
+	}
 	// Build the filter ranking exactly as a query would (including an
 	// indexed base ranking, if configured)...
-	base, err := e.searcher.Ranking(q)
+	base, err := s.searcher.Ranking(q)
 	if err != nil {
+		e.metrics.queryError()
 		return nil, err
 	}
 	// ...and chain the exact EMD on top as the final re-ranker;
 	// soft-deleted items rank at infinity and are skipped by Next.
 	exact := search.NewChainedRanking(base, func(i int) float64 {
-		if e.deleted[i] {
-			return math.Inf(1)
-		}
-		return e.dist.Distance(q, vectors[i])
+		return s.refine(q, i)
 	})
+	e.metrics.rankStarted()
 	return &Ranking{inner: exact}, nil
 }

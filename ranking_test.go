@@ -33,7 +33,7 @@ func TestRankStreamsInExactOrder(t *testing.T) {
 	// Same set and same values as direct computation.
 	want := make([]Result, eng.Len())
 	for i := 0; i < eng.Len(); i++ {
-		want[i] = Result{Index: i, Dist: eng.Distance(q, i)}
+		want[i] = Result{Index: i, Dist: exactDist(t, eng, q, i)}
 	}
 	sort.Slice(want, func(i, j int) bool { return want[i].Dist < want[j].Dist })
 	for i := range want {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"emdsearch/internal/emd"
 	"emdsearch/internal/search"
 )
 
@@ -13,32 +12,35 @@ import (
 // Items failing the predicate are treated as infinitely far: the
 // filter chain still orders candidates, but only matching items are
 // refined and returned, so the query stays exact over the restricted
-// set. pred must be deterministic for the duration of the call.
+// set. pred must be deterministic for the duration of the call. Safe
+// for concurrent use (the predicate is invoked from the calling
+// goroutine only).
 func (e *Engine) KNNWhere(q Histogram, k int, pred func(index int) bool) ([]Result, *QueryStats, error) {
 	if pred == nil {
 		return nil, nil, fmt.Errorf("emdsearch: nil predicate")
 	}
-	if err := emd.Validate(q); err != nil {
-		return nil, nil, fmt.Errorf("emdsearch: query: %w", err)
-	}
-	if len(q) != e.Dim() {
-		return nil, nil, fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
-	}
-	if err := e.ensureSearcher(); err != nil {
+	if err := e.validateQuery(q); err != nil {
+		e.metrics.queryError()
 		return nil, nil, err
 	}
-	ranking, err := e.searcher.Ranking(q)
+	s, err := e.snapshot()
 	if err != nil {
+		e.metrics.queryError()
 		return nil, nil, err
 	}
-	vectors := e.store.Vectors()
+	ranking, err := s.searcher.Ranking(q)
+	if err != nil {
+		e.metrics.queryError()
+		return nil, nil, err
+	}
 	results, stats, err := search.KNN(ranking, func(i int) float64 {
-		if e.deleted[i] || !pred(i) {
+		if s.deleted[i] || !pred(i) {
 			return math.Inf(1)
 		}
-		return e.dist.Distance(q, vectors[i])
+		return s.dist.Distance(q, s.vectors[i])
 	}, k)
 	if err != nil {
+		e.metrics.queryError()
 		return nil, nil, err
 	}
 	live := results[:0]
@@ -47,11 +49,12 @@ func (e *Engine) KNNWhere(q Histogram, k int, pred func(index int) bool) ([]Resu
 			live = append(live, r)
 		}
 	}
+	e.metrics.observe(metricKNN, stats)
 	return live, stats, nil
 }
 
 // KNNWithLabel is KNNWhere restricted to items carrying the given
 // label.
 func (e *Engine) KNNWithLabel(q Histogram, k int, label string) ([]Result, *QueryStats, error) {
-	return e.KNNWhere(q, k, func(i int) bool { return e.store.Item(i).Label == label })
+	return e.KNNWhere(q, k, func(i int) bool { return e.Label(i) == label })
 }

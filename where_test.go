@@ -22,7 +22,7 @@ func TestKNNWhereMatchesFilteredScan(t *testing.T) {
 	var want []res
 	for i := 0; i < eng.Len(); i++ {
 		if pred(i) {
-			want = append(want, res{i, eng.Distance(q, i)})
+			want = append(want, res{i, exactDist(t, eng, q, i)})
 		}
 	}
 	for i := 0; i < len(want); i++ {
