@@ -264,6 +264,84 @@ func BenchmarkEngineKNNParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkRefineKernel isolates the refinement kernel itself: one
+// pooled solver over a stream of random d=32 histogram pairs, the
+// legacy validating kernel against the trusted bounded kernel run to
+// optimality (warm starts and sparsity reduction active, no aborts).
+func BenchmarkRefineKernel(b *testing.B) {
+	const d = 32
+	rng := rand.New(rand.NewSource(3))
+	dist, err := emd.NewDist(emd.LinearCost(d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := randomHistogramB(rng, d)
+	cands := make([]emd.Histogram, 64)
+	for i := range cands {
+		cands[i] = randomHistogramB(rng, d)
+	}
+	b.Run("unbounded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dist.DistanceValidated(q, cands[i%len(cands)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bounded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dist.Distance(q, cands[i%len(cands)])
+		}
+	})
+}
+
+// BenchmarkRefineEngineKNN measures end-to-end k-NN latency of the
+// threshold-aware refinement kernel against the legacy unbounded one
+// on the d=32 music-spectra evaluation configuration (the quick-scale
+// config of cmd/emdbench -exp refine). Results are byte-identical by
+// the bit-identity contract; only the work per candidate differs.
+func BenchmarkRefineEngineKNN(b *testing.B) {
+	const d = 32
+	ds, err := data.MusicSpectra(305, d, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vectors, queries, err := ds.Split(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name      string
+		unbounded bool
+	}{
+		{"unbounded", true},
+		{"bounded", false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := Options{ReducedDims: 8, SampleSize: 24, UnboundedRefine: tc.unbounded}
+			eng, err := NewEngine(ds.Cost, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, h := range vectors {
+				if _, err := eng.Add(ds.Items[i].Label, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := eng.Build(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.KNN(queries[i%len(queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineKNN measures end-to-end query latency with and
 // without the filter chain on a color-histogram corpus.
 func BenchmarkEngineKNN(b *testing.B) {

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve] [-scale full|medium|quick] [-csv] [-seed N] [-dprime D]
-//	         [-workers N] [-concurrency N]
+//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine] [-scale full|medium|quick] [-csv] [-seed N] [-dprime D]
+//	         [-workers N] [-concurrency N] [-out FILE]
 //
 // The full scale approximates the paper's corpus sizes and can take
 // tens of minutes for the complete suite; quick finishes in a couple
@@ -17,6 +17,11 @@
 // queries, each refined by a per-query worker pool (-workers), while a
 // background writer keeps mutating the index. It reports throughput,
 // latency and the engine's aggregated Metrics.
+//
+// -exp refine benchmarks the threshold-aware exact refinement kernel
+// against the legacy unbounded one on an identical k-NN workload,
+// verifies the answers are bit-identical, and (with -out) writes a
+// JSON report with the speedup and refinement counters.
 package main
 
 import (
@@ -38,8 +43,28 @@ func main() {
 		recall    = flag.Bool("check-recall", false, "verify every pipeline result against an exhaustive scan (slow)")
 		workers   = flag.Int("workers", 1, "serve mode: refinement workers per query (negative = GOMAXPROCS)")
 		conc      = flag.Int("concurrency", 4, "serve mode: concurrent query clients")
+		outFlag   = flag.String("out", "", "refine mode: write the JSON report to this path")
 	)
 	flag.Parse()
+
+	if *expFlag == "refine" {
+		rc := refineConfig{n: 300, d: 32, queries: 200, k: 10, seed: *seedFlag, out: *outFlag}
+		switch *scaleFlag {
+		case "full":
+			rc.n, rc.d, rc.queries = 2000, 96, 1000
+		case "medium":
+			rc.n, rc.d, rc.queries = 800, 64, 400
+		case "quick":
+		default:
+			fmt.Fprintf(os.Stderr, "emdbench: unknown scale %q (want full, medium or quick)\n", *scaleFlag)
+			os.Exit(2)
+		}
+		if err := runRefine(rc); err != nil {
+			fmt.Fprintf(os.Stderr, "emdbench: refine: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *expFlag == "serve" {
 		if *conc < 1 {

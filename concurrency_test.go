@@ -12,7 +12,10 @@ import (
 // TestEngineParallelMatchesSequential verifies the central claim of the
 // parallel refinement path: with Workers > 1 KNN and Range return
 // exactly the sequential results — same items, same distances, same
-// order — for a spread of k values and radii.
+// order — for a spread of k values and radii. Both engines run the
+// default threshold-aware refinement kernel, so this also pins the
+// equality with early abandon enabled on both sides (the
+// bounded-vs-legacy comparison lives in refine_test.go).
 func TestEngineParallelMatchesSequential(t *testing.T) {
 	seq, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 10}, 120)
 	par, _ := buildEngine(t, Options{ReducedDims: 8, SampleSize: 10, Workers: 4}, 120)
@@ -62,6 +65,13 @@ func TestEngineParallelMatchesSequential(t *testing.T) {
 			if got[i] != want[i] {
 				t.Fatalf("query %d range result %d: got %+v, want %+v", qi, i, got[i], want[i])
 			}
+		}
+	}
+	// Both engines must have exercised the bounded kernel — otherwise
+	// the equality above silently stops covering early abandon.
+	for name, eng := range map[string]*Engine{"sequential": seq, "parallel": par} {
+		if m := eng.Metrics(); m.WarmStartHits == 0 {
+			t.Errorf("%s engine never warm-started a refinement over the workload", name)
 		}
 	}
 }

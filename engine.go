@@ -89,6 +89,14 @@ type Options struct {
 	// gain. Independent of BatchKNN's cross-query parallelism — when
 	// combining both, keep workers × batch concurrency near GOMAXPROCS.
 	Workers int
+	// UnboundedRefine disables the threshold-aware refinement kernel:
+	// every candidate surviving the filters is refined to optimality
+	// with the legacy dense, cold-started, validating solver. Results
+	// are byte-identical either way — the bounded kernel only abandons
+	// a candidate when a certified lower bound proves it cannot enter
+	// the answer — so this exists as an escape hatch and as the
+	// baseline for benchmarking the bounded kernel's speedup.
+	UnboundedRefine bool
 	// Seed drives all randomized components; the default 0 is a valid
 	// fixed seed, so runs are reproducible unless the caller varies it.
 	Seed int64
@@ -162,12 +170,45 @@ type snapshot struct {
 }
 
 // refine is the exact-EMD refinement distance over the snapshot's
-// vectors, with soft-deleted items at infinity.
+// vectors, with soft-deleted items at infinity. Snapshot vectors are
+// validated on insert and the query once per query, so the fast
+// trusted-input kernel applies.
 func (s *snapshot) refine(q Histogram, i int) float64 {
 	if s.deleted[i] {
 		return math.Inf(1)
 	}
 	return s.dist.Distance(q, s.vectors[i])
+}
+
+// refineBounded is the threshold-aware refinement: the solver may
+// abandon item i once a certified lower bound on its exact distance
+// exceeds abortAbove (see emd.DistanceBounded).
+func (s *snapshot) refineBounded(q Histogram, i int, abortAbove float64) search.Refinement {
+	if s.deleted[i] {
+		return search.Refinement{Dist: math.Inf(1)}
+	}
+	r := s.dist.DistanceBounded(q, s.vectors[i], abortAbove)
+	return search.Refinement{
+		Dist:      r.Value,
+		Aborted:   r.Aborted,
+		WarmStart: r.WarmStart,
+		Rows:      r.Rows,
+		Cols:      r.Cols,
+	}
+}
+
+// refineUnbounded is the legacy refinement kernel: per-call operand
+// validation, full dense shape, cold start, run to optimality. It is
+// the Options.UnboundedRefine baseline.
+func (s *snapshot) refineUnbounded(q Histogram, i int) float64 {
+	if s.deleted[i] {
+		return math.Inf(1)
+	}
+	d, err := s.dist.DistanceValidated(q, s.vectors[i])
+	if err != nil {
+		panic(fmt.Sprintf("emdsearch: refinement failed on validated snapshot data: %v", err))
+	}
+	return d
 }
 
 // greedyUpper returns a goroutine-private greedy upper bound
@@ -474,6 +515,11 @@ func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 		N:       len(vectors),
 		Workers: resolveWorkers(e.opts.Workers),
 		Refine:  snap.refine,
+	}
+	if e.opts.UnboundedRefine {
+		s.Refine = snap.refineUnbounded
+	} else {
+		s.RefineBounded = snap.refineBounded
 	}
 	if e.opts.Positions != nil {
 		cb, err := lb.NewCentroid(e.opts.Positions, e.opts.Positions, e.opts.PositionNorm)

@@ -192,15 +192,55 @@ func (d *Dist) Cost() CostMatrix { return d.cost }
 func (d *Dist) Dims() (rows, cols int) { return d.cost.Rows(), d.cost.Cols() }
 
 // Distance computes the EMD between x and y. The histograms are
-// trusted to be valid operands (non-negative, normalized); this is the
-// fast path for inner loops — no allocation beyond the pooled solver
-// state.
+// trusted to be valid operands (non-negative, normalized) and are not
+// re-validated; this is the fast path for inner loops — no allocation
+// beyond the pooled solver state, zero-mass bins stripped before
+// solving, and the simplex warm-started from the pooled state's
+// previous basis. Use DistanceValidated when the operands are not
+// under the caller's control.
 func (d *Dist) Distance(x, y Histogram) float64 {
-	obj, err := d.solver.SolveValue(transport.Problem{Supply: x, Demand: y, Cost: d.cost})
+	res, err := d.solver.SolveValueBounded(transport.Problem{Supply: x, Demand: y, Cost: d.cost}, math.Inf(1))
 	if err != nil {
-		panic(fmt.Sprintf("emd: solver failed on validated input: %v", err))
+		panic(fmt.Sprintf("emd: solver failed on trusted input: %v", err))
 	}
-	return obj
+	return res.Value
+}
+
+// BoundedDistance is the outcome of a threshold-aware EMD computation;
+// see transport.BoundedResult for the field semantics (Value is the
+// exact EMD, or a certified lower bound on it when Aborted).
+type BoundedDistance = transport.BoundedResult
+
+// DistanceBounded computes the EMD between x and y, abandoning the
+// solve as soon as a certified lower bound on the distance exceeds
+// abortAbove. This is the refinement kernel of threshold-aware k-NN
+// and range search: the certified bound guarantees an aborted
+// candidate's true distance lies above the live pruning threshold, so
+// discarding it cannot change results. With abortAbove = +Inf it
+// behaves exactly like Distance. Operands are trusted, as in Distance.
+func (d *Dist) DistanceBounded(x, y Histogram, abortAbove float64) BoundedDistance {
+	res, err := d.solver.SolveValueBounded(transport.Problem{Supply: x, Demand: y, Cost: d.cost}, abortAbove)
+	if err != nil {
+		panic(fmt.Sprintf("emd: solver failed on trusted input: %v", err))
+	}
+	return res
+}
+
+// DistanceValidated computes the EMD between x and y after validating
+// both histograms, with the legacy unbounded kernel: full dense shape,
+// cold Vogel start, run to optimality. Its value is bit-identical to
+// Distance's — the solvers share the canonical objective — at the cost
+// of per-call validation and no warm-start/sparsity savings. It exists
+// for callers with untrusted operands and as the comparison baseline
+// for benchmarking the bounded kernel.
+func (d *Dist) DistanceValidated(x, y Histogram) (float64, error) {
+	if err := Validate(x); err != nil {
+		return 0, fmt.Errorf("emd: source: %w", err)
+	}
+	if err := Validate(y); err != nil {
+		return 0, fmt.Errorf("emd: target: %w", err)
+	}
+	return d.solver.SolveValue(transport.Problem{Supply: x, Demand: y, Cost: d.cost})
 }
 
 // DistanceWithFlow computes the EMD and the optimal flow matrix.

@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -42,6 +43,19 @@ type QueryStats struct {
 	// shared k-NN threshold had already dropped below their filter
 	// distance. Always 0 on the sequential path.
 	RefinementsSkipped int
+	// RefinesAborted counts refinements (included in Refinements) that
+	// the bounded solver abandoned early because a certified lower
+	// bound on the exact distance exceeded the pruning threshold.
+	RefinesAborted int
+	// WarmStartHits counts refinements that re-entered the simplex
+	// from a cached previous basis instead of a cold start.
+	WarmStartHits int
+	// RefineRows and RefineCols accumulate the reduced problem shapes
+	// (zero-mass bins stripped) over all refinements; divide by
+	// Refinements for the average solved shape. Zero when the bounded
+	// refinement kernel is not in use.
+	RefineRows int64
+	RefineCols int64
 	// Workers is the number of goroutines that served the refinement
 	// stage (1 on the sequential path).
 	Workers int
@@ -61,6 +75,50 @@ type QueryStats struct {
 	TotalTime time.Duration
 }
 
+// Refinement is the outcome of one threshold-aware exact distance
+// computation.
+type Refinement struct {
+	// Dist is the exact distance when the solve ran to optimality, or
+	// a certified lower bound on it when Aborted.
+	Dist float64
+	// Aborted reports that the solver abandoned the candidate early:
+	// the certified bound exceeded the threshold it was given, so the
+	// exact distance provably does too.
+	Aborted bool
+	// WarmStart reports that the solve re-entered from a cached basis.
+	WarmStart bool
+	// Rows and Cols are the reduced problem shape actually solved.
+	Rows, Cols int
+}
+
+// BoundedRefine computes the exact distance of database item index to
+// the query unless it can certify the distance exceeds abortAbove, in
+// which case it may return early with Aborted set. Implementations
+// must only abort on a certified lower bound: Dist <= true distance
+// whenever Aborted.
+type BoundedRefine func(index int, abortAbove float64) Refinement
+
+// adaptRefine lifts a plain exact-distance function into a
+// BoundedRefine that never aborts.
+func adaptRefine(refine func(index int) float64) BoundedRefine {
+	return func(i int, _ float64) Refinement {
+		return Refinement{Dist: refine(i)}
+	}
+}
+
+// observe accumulates one refinement outcome into the stats.
+func (s *QueryStats) observe(r Refinement) {
+	s.Refinements++
+	s.RefineRows += int64(r.Rows)
+	s.RefineCols += int64(r.Cols)
+	if r.WarmStart {
+		s.WarmStartHits++
+	}
+	if r.Aborted {
+		s.RefinesAborted++
+	}
+}
+
 // KNN runs the KNOP k-nearest-neighbor algorithm of Figure 11 over a
 // lower-bounding filter ranking. refine computes the exact distance of
 // a database item to the query. The algorithm refines candidates in
@@ -71,6 +129,19 @@ type QueryStats struct {
 // paper). Ties on the k-th distance are refined, making the result
 // deterministic-by-index among equal distances.
 func KNN(ranking Ranking, refine func(index int) float64, k int) ([]Result, *QueryStats, error) {
+	return KNNBounded(ranking, adaptRefine(refine), k)
+}
+
+// KNNBounded is KNN with a threshold-aware refinement: each candidate
+// is refined with the current k-th neighbor distance as its abort
+// threshold (+Inf until k neighbors are known). An aborted candidate
+// carries a certified lower bound above that threshold, so its exact
+// distance exceeds the current — and hence the final — k-th distance
+// and it is discarded exactly as a completed refinement past the
+// threshold would be; results are identical to KNN's, including the
+// tie-on-the-k-th-distance semantics (the bounded solver's guard keeps
+// ties from aborting). Only the work counters differ.
+func KNNBounded(ranking Ranking, refine BoundedRefine, k int) ([]Result, *QueryStats, error) {
 	if k < 1 {
 		return nil, nil, fmt.Errorf("search: k = %d, want >= 1", k)
 	}
@@ -98,13 +169,21 @@ func KNN(ranking Ranking, refine func(index int) float64, k int) ([]Result, *Que
 			break
 		}
 		stats.Pulled++
-		if len(neighbors) == k && c.Dist > neighbors[k-1].Dist {
-			// Lower-bounding filter: every remaining item is at least
-			// this far away.
-			break
+		threshold := math.Inf(1)
+		if len(neighbors) == k {
+			threshold = neighbors[k-1].Dist
+			if c.Dist > threshold {
+				// Lower-bounding filter: every remaining item is at
+				// least this far away.
+				break
+			}
 		}
-		stats.Refinements++
-		d := refine(c.Index)
+		r := refine(c.Index, threshold)
+		stats.observe(r)
+		if r.Aborted {
+			continue
+		}
+		d := r.Dist
 		if len(neighbors) < k || d < neighbors[k-1].Dist ||
 			(d == neighbors[k-1].Dist && c.Index < neighbors[k-1].Index) {
 			insert(Result{Index: c.Index, Dist: d})
@@ -118,6 +197,13 @@ func KNN(ranking Ranking, refine func(index int) float64, k int) ([]Result, *Que
 // while their filter distance is <= eps and refined; the rest cannot
 // qualify. Results are sorted by distance, then index.
 func Range(ranking Ranking, refine func(index int) float64, eps float64) ([]Result, *QueryStats, error) {
+	return RangeBounded(ranking, adaptRefine(refine), eps)
+}
+
+// RangeBounded is Range with a threshold-aware refinement: eps is the
+// abort threshold of every candidate. An aborted candidate's exact
+// distance provably exceeds eps, so results are identical to Range's.
+func RangeBounded(ranking Ranking, refine BoundedRefine, eps float64) ([]Result, *QueryStats, error) {
 	if eps < 0 {
 		return nil, nil, fmt.Errorf("search: eps = %g, want >= 0", eps)
 	}
@@ -132,9 +218,10 @@ func Range(ranking Ranking, refine func(index int) float64, eps float64) ([]Resu
 		if c.Dist > eps {
 			break
 		}
-		stats.Refinements++
-		if d := refine(c.Index); d <= eps {
-			results = append(results, Result{Index: c.Index, Dist: d})
+		r := refine(c.Index, eps)
+		stats.observe(r)
+		if !r.Aborted && r.Dist <= eps {
+			results = append(results, Result{Index: c.Index, Dist: r.Dist})
 		}
 	}
 	sort.Slice(results, func(i, j int) bool {

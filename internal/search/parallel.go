@@ -85,15 +85,52 @@ func (ns *neighborSet) insert(r Result) {
 // flight when the threshold tightens are refined speculatively
 // (counted in Refinements) or skipped (RefinementsSkipped).
 func ParallelKNN(ranking Ranking, refine func(index int) float64, k, workers int) ([]Result, *QueryStats, error) {
+	return ParallelKNNBounded(ranking, adaptRefine(refine), k, workers)
+}
+
+// parallelCounters accumulates per-refinement outcomes from multiple
+// workers without locking; flush copies the totals into stats.
+type parallelCounters struct {
+	refined, skipped, aborted, warm, rows, cols int64
+}
+
+func (pc *parallelCounters) observe(r Refinement) {
+	atomic.AddInt64(&pc.refined, 1)
+	atomic.AddInt64(&pc.rows, int64(r.Rows))
+	atomic.AddInt64(&pc.cols, int64(r.Cols))
+	if r.WarmStart {
+		atomic.AddInt64(&pc.warm, 1)
+	}
+	if r.Aborted {
+		atomic.AddInt64(&pc.aborted, 1)
+	}
+}
+
+func (pc *parallelCounters) flush(stats *QueryStats) {
+	stats.Refinements = int(atomic.LoadInt64(&pc.refined))
+	stats.RefinementsSkipped = int(atomic.LoadInt64(&pc.skipped))
+	stats.RefinesAborted = int(atomic.LoadInt64(&pc.aborted))
+	stats.WarmStartHits = int(atomic.LoadInt64(&pc.warm))
+	stats.RefineRows = atomic.LoadInt64(&pc.rows)
+	stats.RefineCols = atomic.LoadInt64(&pc.cols)
+}
+
+// ParallelKNNBounded is ParallelKNN with a threshold-aware refinement.
+// Each worker reads the shared threshold once per candidate and passes
+// it to refine as the abort bound. Because the threshold only ever
+// tightens, a certified bound above the threshold-at-call-time also
+// exceeds the final k-th distance, so discarding aborted candidates
+// leaves the result set exactly equal to the sequential KNN's.
+func ParallelKNNBounded(ranking Ranking, refine BoundedRefine, k, workers int) ([]Result, *QueryStats, error) {
 	if k < 1 {
 		return nil, nil, fmt.Errorf("search: k = %d, want >= 1", k)
 	}
 	if workers <= 1 {
-		return KNN(ranking, refine, k)
+		return KNNBounded(ranking, refine, k)
 	}
 	threshold := newAtomicThreshold()
 	neighbors := newNeighborSet(k, threshold)
-	var refined, skipped int64
+	var counters parallelCounters
 
 	// The buffer is the dispatch chunk: the feeder can run at most
 	// workers + cap(dispatch) candidates ahead of the slowest refiner.
@@ -104,13 +141,17 @@ func ParallelKNN(ranking Ranking, refine func(index int) float64, k, workers int
 		go func() {
 			defer wg.Done()
 			for c := range dispatch {
-				if c.Dist > threshold.Load() {
-					atomic.AddInt64(&skipped, 1)
+				ab := threshold.Load()
+				if c.Dist > ab {
+					atomic.AddInt64(&counters.skipped, 1)
 					continue
 				}
-				d := refine(c.Index)
-				atomic.AddInt64(&refined, 1)
-				neighbors.insert(Result{Index: c.Index, Dist: d})
+				r := refine(c.Index, ab)
+				counters.observe(r)
+				if r.Aborted {
+					continue
+				}
+				neighbors.insert(Result{Index: c.Index, Dist: r.Dist})
 			}
 		}()
 	}
@@ -133,8 +174,7 @@ func ParallelKNN(ranking Ranking, refine func(index int) float64, k, workers int
 	close(dispatch)
 	wg.Wait()
 
-	stats.Refinements = int(refined)
-	stats.RefinementsSkipped = int(skipped)
+	counters.flush(stats)
 	return neighbors.results, stats, nil
 }
 
@@ -144,16 +184,23 @@ func ParallelKNN(ranking Ranking, refine func(index int) float64, k, workers int
 // sorted by (distance, index) as in the sequential algorithm. The
 // result is identical to Range's.
 func ParallelRange(ranking Ranking, refine func(index int) float64, eps float64, workers int) ([]Result, *QueryStats, error) {
+	return ParallelRangeBounded(ranking, adaptRefine(refine), eps, workers)
+}
+
+// ParallelRangeBounded is ParallelRange with a threshold-aware
+// refinement; eps is every candidate's abort bound, as in RangeBounded,
+// so results are identical to the sequential Range's.
+func ParallelRangeBounded(ranking Ranking, refine BoundedRefine, eps float64, workers int) ([]Result, *QueryStats, error) {
 	if eps < 0 {
 		return nil, nil, fmt.Errorf("search: eps = %g, want >= 0", eps)
 	}
 	if workers <= 1 {
-		return Range(ranking, refine, eps)
+		return RangeBounded(ranking, refine, eps)
 	}
 	var (
-		mu      sync.Mutex
-		results []Result
-		refined int64
+		mu       sync.Mutex
+		results  []Result
+		counters parallelCounters
 	)
 	dispatch := make(chan Candidate, workers)
 	var wg sync.WaitGroup
@@ -162,11 +209,11 @@ func ParallelRange(ranking Ranking, refine func(index int) float64, eps float64,
 		go func() {
 			defer wg.Done()
 			for c := range dispatch {
-				d := refine(c.Index)
-				atomic.AddInt64(&refined, 1)
-				if d <= eps {
+				r := refine(c.Index, eps)
+				counters.observe(r)
+				if !r.Aborted && r.Dist <= eps {
 					mu.Lock()
-					results = append(results, Result{Index: c.Index, Dist: d})
+					results = append(results, Result{Index: c.Index, Dist: r.Dist})
 					mu.Unlock()
 				}
 			}
@@ -188,7 +235,7 @@ func ParallelRange(ranking Ranking, refine func(index int) float64, eps float64,
 	close(dispatch)
 	wg.Wait()
 
-	stats.Refinements = int(refined)
+	counters.flush(stats)
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Dist != results[j].Dist {
 			return results[i].Dist < results[j].Dist

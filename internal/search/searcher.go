@@ -54,6 +54,14 @@ type Searcher struct {
 	// between the original query and database item index. It must be
 	// safe for concurrent invocation when Workers > 1.
 	Refine func(q emd.Histogram, index int) float64
+	// RefineBounded, when set, is preferred over Refine: a
+	// threshold-aware exact distance that may abandon a candidate once
+	// a certified lower bound on its distance exceeds abortAbove (the
+	// live pruning threshold of the query). It must obey the
+	// BoundedRefine contract and, like Refine, be safe for concurrent
+	// invocation when Workers > 1. At least one of Refine and
+	// RefineBounded must be set.
+	RefineBounded func(q emd.Histogram, index int, abortAbove float64) Refinement
 	// Workers bounds the goroutines used for the exact refinement
 	// stage of a single query; values <= 1 select the sequential KNOP
 	// path. The filter chain itself always runs on the calling
@@ -157,15 +165,24 @@ func finishStats(stats *QueryStats, probes []stageProbe, total time.Duration) {
 	}
 }
 
-// timedRefine wraps s.Refine for query q with a cumulative timer.
-// add must be goroutine-safe when the parallel path is in use; the
-// returned accumulate function reads the total afterwards.
-func (s *Searcher) timedRefine(q emd.Histogram, add func(time.Duration)) func(int) float64 {
-	return func(i int) float64 {
+// timedBoundedRefine wraps the searcher's refinement for query q with
+// a cumulative timer, lifting a plain Refine into the BoundedRefine
+// shape when no RefineBounded is configured. add must be
+// goroutine-safe when the parallel path is in use.
+func (s *Searcher) timedBoundedRefine(q emd.Histogram, add func(time.Duration)) BoundedRefine {
+	if s.RefineBounded != nil {
+		return func(i int, abortAbove float64) Refinement {
+			t0 := time.Now()
+			r := s.RefineBounded(q, i, abortAbove)
+			add(time.Since(t0))
+			return r
+		}
+	}
+	return func(i int, _ float64) Refinement {
 		t0 := time.Now()
 		d := s.Refine(q, i)
 		add(time.Since(t0))
-		return d
+		return Refinement{Dist: d}
 	}
 }
 
@@ -174,8 +191,12 @@ func (s *Searcher) timedRefine(q emd.Histogram, add func(time.Duration)) func(in
 // sharing an atomic pruning threshold; results are identical to the
 // sequential path (work counters may differ slightly, since candidates
 // in flight when the threshold tightens are refined speculatively).
+// When RefineBounded is set, candidates are refined threshold-aware:
+// the solver may abandon a candidate on a certified bound above the
+// live k-th distance, which changes only the work counters, never the
+// results.
 func (s *Searcher) KNN(q emd.Histogram, k int) ([]Result, *QueryStats, error) {
-	if s.Refine == nil {
+	if s.Refine == nil && s.RefineBounded == nil {
 		return nil, nil, fmt.Errorf("search: Searcher has no refinement distance")
 	}
 	start := time.Now()
@@ -187,15 +208,15 @@ func (s *Searcher) KNN(q emd.Histogram, k int) ([]Result, *QueryStats, error) {
 	var stats *QueryStats
 	if s.Workers > 1 {
 		refineTime := new(atomicDuration)
-		refine := s.timedRefine(q, refineTime.Add)
-		results, stats, err = ParallelKNN(ranking, refine, k, s.Workers)
+		refine := s.timedBoundedRefine(q, refineTime.Add)
+		results, stats, err = ParallelKNNBounded(ranking, refine, k, s.Workers)
 		if err == nil {
 			stats.RefineTime = refineTime.Load()
 		}
 	} else {
 		var refineTime time.Duration
-		refine := s.timedRefine(q, func(d time.Duration) { refineTime += d })
-		results, stats, err = KNN(ranking, refine, k)
+		refine := s.timedBoundedRefine(q, func(d time.Duration) { refineTime += d })
+		results, stats, err = KNNBounded(ranking, refine, k)
 		if err == nil {
 			stats.RefineTime = refineTime
 			stats.Workers = 1
@@ -209,9 +230,10 @@ func (s *Searcher) KNN(q emd.Histogram, k int) ([]Result, *QueryStats, error) {
 }
 
 // Range answers a range query: all items with exact distance <= eps.
-// Like KNN it refines in parallel when Workers > 1.
+// Like KNN it refines in parallel when Workers > 1 and threshold-aware
+// when RefineBounded is set (eps is the abort bound).
 func (s *Searcher) Range(q emd.Histogram, eps float64) ([]Result, *QueryStats, error) {
-	if s.Refine == nil {
+	if s.Refine == nil && s.RefineBounded == nil {
 		return nil, nil, fmt.Errorf("search: Searcher has no refinement distance")
 	}
 	start := time.Now()
@@ -223,15 +245,15 @@ func (s *Searcher) Range(q emd.Histogram, eps float64) ([]Result, *QueryStats, e
 	var stats *QueryStats
 	if s.Workers > 1 {
 		refineTime := new(atomicDuration)
-		refine := s.timedRefine(q, refineTime.Add)
-		results, stats, err = ParallelRange(ranking, refine, eps, s.Workers)
+		refine := s.timedBoundedRefine(q, refineTime.Add)
+		results, stats, err = ParallelRangeBounded(ranking, refine, eps, s.Workers)
 		if err == nil {
 			stats.RefineTime = refineTime.Load()
 		}
 	} else {
 		var refineTime time.Duration
-		refine := s.timedRefine(q, func(d time.Duration) { refineTime += d })
-		results, stats, err = Range(ranking, refine, eps)
+		refine := s.timedBoundedRefine(q, func(d time.Duration) { refineTime += d })
+		results, stats, err = RangeBounded(ranking, refine, eps)
 		if err == nil {
 			stats.RefineTime = refineTime
 			stats.Workers = 1

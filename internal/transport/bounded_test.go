@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// solveCold solves p with a fresh solver (empty pool, no warm basis)
+// through the bounded kernel at +Inf, i.e. to optimality.
+func solveCold(t *testing.T, p Problem) float64 {
+	t.Helper()
+	s, err := NewSolver(len(p.Supply), len(p.Demand))
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveValueBounded(p, math.Inf(1))
+	if err != nil {
+		t.Fatalf("SolveValueBounded: %v", err)
+	}
+	if res.Aborted {
+		t.Fatalf("aborted with abortAbove = +Inf")
+	}
+	return res.Value
+}
+
+// TestSolveValueBoundedMatchesSolveValue checks the bit-identity
+// contract: at abortAbove = +Inf the bounded kernel — sparsity
+// reduction, warm starts and all — must return exactly the value of
+// the legacy validating kernel, on dense and sparse instances alike.
+func TestSolveValueBoundedMatchesSolveValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(10)
+		n := 2 + rng.Intn(10)
+		p := randomProblem(rng, m, n, trial%2 == 0)
+		s, err := NewSolver(m, n)
+		if err != nil {
+			t.Fatalf("NewSolver: %v", err)
+		}
+		want, err := s.SolveValue(p)
+		if err != nil {
+			t.Fatalf("SolveValue: %v", err)
+		}
+		// Repeat so later solves re-enter from the warm basis cached by
+		// the earlier ones; every repetition must stay bit-identical.
+		for rep := 0; rep < 3; rep++ {
+			res, err := s.SolveValueBounded(p, math.Inf(1))
+			if err != nil {
+				t.Fatalf("SolveValueBounded: %v", err)
+			}
+			if res.Aborted {
+				t.Fatalf("trial %d rep %d: aborted with abortAbove = +Inf", trial, rep)
+			}
+			if res.Value != want {
+				t.Fatalf("trial %d rep %d: bounded %v != SolveValue %v (diff %g)",
+					trial, rep, res.Value, want, res.Value-want)
+			}
+		}
+	}
+}
+
+// TestSolveValueBoundedWarmVsCold solves random candidate sequences
+// through one pooled solver (warm starts accumulate) and compares each
+// value bitwise against a cold fresh-solver solve of the same problem.
+// This is the engine's refinement access pattern: one query against a
+// stream of database histograms.
+func TestSolveValueBoundedWarmVsCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for seq := 0; seq < 10; seq++ {
+		m := 3 + rng.Intn(8)
+		n := 3 + rng.Intn(8)
+		s, err := NewSolver(m, n)
+		if err != nil {
+			t.Fatalf("NewSolver: %v", err)
+		}
+		warmHits := 0
+		for cand := 0; cand < 30; cand++ {
+			p := randomProblem(rng, m, n, cand%3 == 0)
+			res, err := s.SolveValueBounded(p, math.Inf(1))
+			if err != nil {
+				t.Fatalf("SolveValueBounded: %v", err)
+			}
+			if res.WarmStart {
+				warmHits++
+			}
+			if cold := solveCold(t, p); res.Value != cold {
+				t.Fatalf("seq %d cand %d: warm %v != cold %v (diff %g, warmStart %v)",
+					seq, cand, res.Value, cold, res.Value-cold, res.WarmStart)
+			}
+		}
+		if warmHits == 0 {
+			t.Errorf("seq %d: no warm-start hits over 30 sequential solves", seq)
+		}
+	}
+}
+
+// TestSolveValueBoundedSparsity checks that zero-mass rows and columns
+// are stripped (reported shape shrinks) without changing the value.
+func TestSolveValueBoundedSparsity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		m := 4 + rng.Intn(8)
+		n := 4 + rng.Intn(8)
+		p := randomProblem(rng, m, n, true)
+		rows, cols := 0, 0
+		for _, v := range p.Supply {
+			if v > 0 {
+				rows++
+			}
+		}
+		for _, v := range p.Demand {
+			if v > 0 {
+				cols++
+			}
+		}
+		s, err := NewSolver(m, n)
+		if err != nil {
+			t.Fatalf("NewSolver: %v", err)
+		}
+		res, err := s.SolveValueBounded(p, math.Inf(1))
+		if err != nil {
+			t.Fatalf("SolveValueBounded: %v", err)
+		}
+		if res.Rows != rows || res.Cols != cols {
+			t.Fatalf("trial %d: reduced shape %dx%d, want %dx%d",
+				trial, res.Rows, res.Cols, rows, cols)
+		}
+		want, err := s.SolveValue(p)
+		if err != nil {
+			t.Fatalf("SolveValue: %v", err)
+		}
+		if res.Value != want {
+			t.Fatalf("trial %d: reduced %v != dense %v", trial, res.Value, want)
+		}
+	}
+}
+
+// TestSolveValueBoundedAbortSoundness checks the certificate contract:
+// an aborted solve's Value is a lower bound on the true optimum that
+// exceeds the threshold, and no solve aborts when the threshold is at
+// or above the optimum.
+func TestSolveValueBoundedAbortSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	aborted := 0
+	for trial := 0; trial < 300; trial++ {
+		m := 2 + rng.Intn(9)
+		n := 2 + rng.Intn(9)
+		p := randomProblem(rng, m, n, trial%2 == 0)
+		s, err := NewSolver(m, n)
+		if err != nil {
+			t.Fatalf("NewSolver: %v", err)
+		}
+		opt, err := s.SolveValue(p)
+		if err != nil {
+			t.Fatalf("SolveValue: %v", err)
+		}
+		tol := 1e-9 * (1 + math.Abs(opt))
+
+		// Threshold at or above the optimum: must run to optimality and
+		// stay bit-identical.
+		res, err := s.SolveValueBounded(p, opt)
+		if err != nil {
+			t.Fatalf("SolveValueBounded(opt): %v", err)
+		}
+		if res.Aborted {
+			t.Fatalf("trial %d: aborted with abortAbove = optimum (bound %v, opt %v)",
+				trial, res.Value, opt)
+		}
+		if res.Value != opt {
+			t.Fatalf("trial %d: bounded-at-opt %v != %v", trial, res.Value, opt)
+		}
+
+		// Threshold well below the optimum: abort is allowed (and
+		// expected for most instances); the certified bound must be
+		// sound either way.
+		lo, err := s.SolveValueBounded(p, 0.5*opt)
+		if err != nil {
+			t.Fatalf("SolveValueBounded(opt/2): %v", err)
+		}
+		if lo.Aborted {
+			aborted++
+			if lo.Value <= 0.5*opt {
+				t.Fatalf("trial %d: aborted but bound %v <= threshold %v", trial, lo.Value, 0.5*opt)
+			}
+			if lo.Value > opt+tol {
+				t.Fatalf("trial %d: certified bound %v exceeds optimum %v", trial, lo.Value, opt)
+			}
+		} else if lo.Value != opt {
+			t.Fatalf("trial %d: completed solve %v != optimum %v", trial, lo.Value, opt)
+		}
+	}
+	if aborted == 0 {
+		t.Errorf("no solve aborted at half the optimum over 300 trials")
+	}
+}
+
+// TestSolveValueBoundedDegenerate covers the mass-concentration edge
+// cases of the reduction: all mass in one bin on either side.
+func TestSolveValueBoundedDegenerate(t *testing.T) {
+	cost := manhattanCost(5)
+	supply := []float64{0, 0, 1, 0, 0}
+	for _, demand := range [][]float64{
+		{1, 0, 0, 0, 0},
+		{0, 0, 1, 0, 0},
+		{0.5, 0, 0, 0, 0.5},
+	} {
+		p := Problem{Supply: supply, Demand: demand, Cost: cost}
+		s, err := NewSolver(5, 5)
+		if err != nil {
+			t.Fatalf("NewSolver: %v", err)
+		}
+		res, err := s.SolveValueBounded(p, math.Inf(1))
+		if err != nil {
+			t.Fatalf("SolveValueBounded: %v", err)
+		}
+		want, err := s.SolveValue(p)
+		if err != nil {
+			t.Fatalf("SolveValue: %v", err)
+		}
+		if res.Value != want {
+			t.Fatalf("demand %v: bounded %v != dense %v", demand, res.Value, want)
+		}
+		if res.Rows != 1 {
+			t.Fatalf("demand %v: reduced rows %d, want 1", demand, res.Rows)
+		}
+	}
+}

@@ -107,6 +107,38 @@ func FuzzTransportSolve(f *testing.F) {
 		if math.Abs(sol.Objective-ssp.Objective) > tol*(1+math.Abs(sol.Objective)) {
 			t.Fatalf("solver disagreement: simplex %g, ssp %g", sol.Objective, ssp.Objective)
 		}
+		// Bounded kernel: at +Inf it must run to optimality and agree
+		// with the reference solvers; below the optimum it may abort,
+		// but only on a sound certificate.
+		solver, err := NewSolver(len(p.Supply), len(p.Demand))
+		if err != nil {
+			t.Fatalf("NewSolver: %v", err)
+		}
+		full, err := solver.SolveValueBounded(p, math.Inf(1))
+		if err != nil {
+			t.Fatalf("SolveValueBounded(+Inf): %v", err)
+		}
+		if full.Aborted {
+			t.Fatalf("aborted with abortAbove = +Inf")
+		}
+		if math.Abs(full.Value-sol.Objective) > tol*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("bounded kernel disagreement: %g vs %g", full.Value, sol.Objective)
+		}
+		bounded, err := solver.SolveValueBounded(p, 0.5*full.Value)
+		if err != nil {
+			t.Fatalf("SolveValueBounded(opt/2): %v", err)
+		}
+		if bounded.Aborted {
+			if bounded.Value > full.Value+tol*(1+math.Abs(full.Value)) {
+				t.Fatalf("certified bound %g exceeds optimum %g", bounded.Value, full.Value)
+			}
+			if bounded.Value <= 0.5*full.Value {
+				t.Fatalf("aborted with bound %g at or below threshold %g", bounded.Value, 0.5*full.Value)
+			}
+		} else if bounded.Value != full.Value {
+			t.Fatalf("completed bounded solve %v != %v", bounded.Value, full.Value)
+		}
+
 		// Transposition symmetry: moving demand to supply over the
 		// transposed cost is the same LP.
 		tp := Problem{

@@ -27,19 +27,27 @@ const (
 // simplexState holds the mutable state of one transportation simplex
 // run. Rows are nodes 0..m-1 and columns are nodes m..m+n-1 of the
 // basis spanning tree.
+//
+// Buffers are sized for a capacity shape capM x capN fixed at
+// allocation; the logical shape m x n of the current solve may be
+// smaller (sparsity-reduced solves strip zero-mass rows and columns).
 type simplexState struct {
-	m, n   int
-	cost   [][]float64
-	flow   [][]float64
-	basic  []bool // m*n cell -> in basis
-	adj    [][]int32
-	u, v   []float64
-	uSet   []bool
-	vSet   []bool
-	parent []int32 // node -> parent node in BFS
-	pCell  []int32 // node -> cell (i*n+j) connecting it to parent
-	queue  []int32
-	scale  float64 // magnitude of the largest cost, for tolerances
+	capM, capN int
+	m, n       int
+	cost       [][]float64
+	flow       [][]float64 // flowRows[:m], resliced over flowBacking by prepare
+	basic      []bool      // m*n cell -> in basis
+	adj        [][]int32
+	u, v       []float64
+	uSet       []bool
+	vSet       []bool
+	parent     []int32 // node -> parent node in BFS
+	pCell      []int32 // node -> cell (i*n+j) connecting it to parent
+	queue      []int32
+	scale      float64 // magnitude of the largest cost, for tolerances
+
+	flowBacking []float64
+	flowRows    [][]float64
 	// cand is the candidate list for partial pricing: cells that had a
 	// negative reduced cost at the last full scan. Pivots price only
 	// this list; a full O(m*n) scan happens only when the list runs
@@ -54,6 +62,40 @@ type simplexState struct {
 	colMin1, colMin2     []int32
 	// uf is the reusable union-find buffer of patchBasis.
 	uf []int32
+
+	// Sparsity-reduction maps between original (capM x capN) and
+	// reduced (m x n) coordinates, rebuilt per bounded solve. rowInv
+	// and colInv hold -1 for stripped zero-mass rows/columns.
+	rowMap, colMap []int32
+	rowInv, colInv []int32
+	rsBuf, rdBuf   []float64
+	costBacking    []float64 // lazily allocated reduced cost storage
+	costRows       [][]float64
+	// warm holds the basic cells of the most recent optimal basis in
+	// original coordinates (i*capN + j). Dual feasibility of a basis
+	// depends only on the cost matrix, so it is a principled restart
+	// for any later solve of the same solver.
+	warm []int32
+	// warmV holds the column dual potentials of the most recent optimal
+	// solve in original coordinates. Any dual vector v yields a certified
+	// lower bound on a later solve's optimum after the row repair
+	// u_i = min_j (c_ij - v_j), so these cached potentials let a bounded
+	// solve abort before any simplex work when the previous optimum's
+	// geometry already prices the new candidate above the threshold.
+	warmV []float64
+	// Leaf-peeling scratch for recomputing tree flows on warm starts.
+	peelRes  []float64
+	peelDeg  []int32
+	peelDone []bool
+	// Double-double residual scratch for the exact-feasibility peel of
+	// the polish phase.
+	peelResHi, peelResLo []float64
+	// peelNeg counts the materially negative flows found by the last
+	// peelFlows pass — how far from primal-feasible the tree was.
+	peelNeg int
+	// Double-double dual potentials for the canonical objective.
+	duHi, duLo []float64
+	dvHi, dvLo []float64
 }
 
 // cycleCell is one cell of a pivot cycle with its +/- role.
@@ -94,58 +136,82 @@ func SolveSimplexFrom(p Problem, init Initializer) (*Solution, error) {
 	}, nil
 }
 
-// newSimplexState allocates all buffers for an m x n solve.
+// newSimplexState allocates all buffers for solves of capacity shape
+// m x n (the logical shape of later solves may be smaller).
 func newSimplexState(m, n int) *simplexState {
-	return &simplexState{
+	st := &simplexState{
+		capM: m, capN: n,
 		m: m, n: n,
-		flow:      newMatrix(m, n),
-		basic:     make([]bool, m*n),
-		adj:       make([][]int32, m+n),
-		u:         make([]float64, m),
-		v:         make([]float64, n),
-		uSet:      make([]bool, m),
-		vSet:      make([]bool, n),
-		parent:    make([]int32, m+n),
-		pCell:     make([]int32, m+n),
-		queue:     make([]int32, 0, m+n),
-		vs:        make([]float64, m),
-		vd:        make([]float64, n),
-		rowActive: make([]bool, m),
-		colActive: make([]bool, n),
-		rowMin1:   make([]int32, m),
-		rowMin2:   make([]int32, m),
-		colMin1:   make([]int32, n),
-		colMin2:   make([]int32, n),
-		uf:        make([]int32, m+n),
+		flowBacking: make([]float64, m*n),
+		flowRows:    make([][]float64, m),
+		basic:       make([]bool, m*n),
+		adj:         make([][]int32, m+n),
+		u:           make([]float64, m),
+		v:           make([]float64, n),
+		uSet:        make([]bool, m),
+		vSet:        make([]bool, n),
+		parent:      make([]int32, m+n),
+		pCell:       make([]int32, m+n),
+		queue:       make([]int32, 0, m+n),
+		vs:          make([]float64, m),
+		vd:          make([]float64, n),
+		rowActive:   make([]bool, m),
+		colActive:   make([]bool, n),
+		rowMin1:     make([]int32, m),
+		rowMin2:     make([]int32, m),
+		colMin1:     make([]int32, n),
+		colMin2:     make([]int32, n),
+		uf:          make([]int32, m+n),
+		rowMap:      make([]int32, m),
+		colMap:      make([]int32, n),
+		rowInv:      make([]int32, m),
+		colInv:      make([]int32, n),
+		rsBuf:       make([]float64, m),
+		rdBuf:       make([]float64, n),
+		peelRes:     make([]float64, m+n),
+		peelDeg:     make([]int32, m+n),
+		peelDone:    make([]bool, m+n),
+		peelResHi:   make([]float64, m+n),
+		peelResLo:   make([]float64, m+n),
+		duHi:        make([]float64, m),
+		duLo:        make([]float64, m),
+		dvHi:        make([]float64, n),
+		dvLo:        make([]float64, n),
 	}
+	st.flow = st.flowRows[:m]
+	for i := 0; i < m; i++ {
+		st.flow[i] = st.flowBacking[i*n : (i+1)*n : (i+1)*n]
+	}
+	return st
 }
 
-// reset clears all per-solve state so the buffers can be reused.
-func (st *simplexState) reset() {
-	for i := range st.flow {
-		row := st.flow[i]
-		for j := range row {
-			row[j] = 0
-		}
-	}
-	for i := range st.basic {
+// prepare clears the previous solve's state (at its own, possibly
+// different, logical shape) and adopts the new logical shape m x n,
+// reslicing the flow matrix over the shared backing array.
+func (st *simplexState) prepare(m, n int) {
+	old := st.m * st.n
+	for i := 0; i < old; i++ {
 		st.basic[i] = false
+		st.flowBacking[i] = 0
 	}
-	for i := range st.adj {
-		st.adj[i] = st.adj[i][:0]
+	for x := 0; x < st.m+st.n; x++ {
+		st.adj[x] = st.adj[x][:0]
 	}
 	st.cand = st.cand[:0]
 	st.scale = 0
+	st.m, st.n = m, n
+	st.flow = st.flowRows[:m]
+	for i := 0; i < m; i++ {
+		st.flow[i] = st.flowBacking[i*n : (i+1)*n : (i+1)*n]
+	}
 }
 
-// run executes one full solve on the (possibly reused) state and
-// returns the pivot count. On return st.flow holds the optimal flow
-// and computeDuals-fresh u/v are available to the caller.
-func (st *simplexState) run(p Problem, init Initializer) (int, error) {
-	st.reset()
-	st.cost = p.Cost
-	for i := range p.Cost {
-		for _, c := range p.Cost[i] {
+// computeScale records the magnitude of the largest cost entry, the
+// reference for all pivoting tolerances.
+func (st *simplexState) computeScale() {
+	st.scale = 0
+	for i := 0; i < st.m; i++ {
+		for _, c := range st.cost[i][:st.n] {
 			if c > st.scale {
 				st.scale = c
 			}
@@ -154,6 +220,15 @@ func (st *simplexState) run(p Problem, init Initializer) (int, error) {
 	if st.scale == 0 {
 		st.scale = 1
 	}
+}
+
+// run executes one full solve on the (possibly reused) state and
+// returns the pivot count. On return st.flow holds the optimal flow
+// and computeDuals-fresh u/v are available to the caller.
+func (st *simplexState) run(p Problem, init Initializer) (int, error) {
+	st.prepare(len(p.Supply), len(p.Demand))
+	st.cost = p.Cost
+	st.computeScale()
 
 	switch init {
 	case Vogel:
@@ -166,24 +241,39 @@ func (st *simplexState) run(p Problem, init Initializer) (int, error) {
 		return 0, fmt.Errorf("transport: unknown initializer %d", init)
 	}
 	st.patchBasis()
+	iter, _, _, err := st.pivotLoop(p.Supply, p.Demand, math.Inf(1))
+	return iter, err
+}
 
-	// Pivot until no entering cell remains. The budget is generous:
-	// well-behaved instances pivot O(m+n) times.
+// pivotLoop pivots until optimality, the iteration budget, or — when
+// abortAbove is finite — until a certified dual lower bound on the
+// optimum exceeds abortAbove. After every dual recomputation the loop
+// evaluates the dual objective of a feasibility-repaired copy of the
+// current potentials (feasibleDualBound); by weak duality that value
+// never exceeds the true optimum, so once it clears abortAbove the
+// caller may discard the candidate without finishing the solve. The
+// bound is reported minus a small guard so that float error in the
+// repair can never certify past a true optimum that ties abortAbove.
+func (st *simplexState) pivotLoop(supply, demand []float64, abortAbove float64) (iter int, aborted bool, bound float64, err error) {
+	// The budget is generous: well-behaved instances pivot O(m+n) times.
 	maxIter := 200 * (st.m + st.n + 10)
 	tol := 1e-10 * st.scale
-	iter := 0
-	for ; iter < maxIter; iter++ {
+	guard := boundGuard * st.scale
+	bounded := !math.IsInf(abortAbove, 1)
+	for iter = 0; iter < maxIter; iter++ {
 		st.computeDuals()
+		if bounded {
+			if b := st.feasibleDualBound(supply, demand) - guard; b > abortAbove {
+				return iter, true, b, nil
+			}
+		}
 		ei, ej, ok := st.entering(tol)
 		if !ok {
-			break
+			return iter, false, 0, nil
 		}
 		st.pivot(ei, ej)
 	}
-	if iter == maxIter {
-		return 0, fmt.Errorf("transport: simplex on %dx%d problem: %w", st.m, st.n, ErrIterationLimit)
-	}
-	return iter, nil
+	return maxIter, false, 0, fmt.Errorf("transport: simplex on %dx%d problem: %w", st.m, st.n, ErrIterationLimit)
 }
 
 func newMatrix(rows, cols int) [][]float64 {
@@ -256,12 +346,12 @@ func (st *simplexState) initNorthwest(supply, demand []float64) {
 // tree afterwards if fewer than m+n-1 cells were created.
 func (st *simplexState) initVogel(supply, demand []float64) {
 	m, n := st.m, st.n
-	s := st.vs
-	d := st.vd
+	s := st.vs[:m]
+	d := st.vd[:n]
 	copy(s, supply)
 	copy(d, demand)
-	rowActive := st.rowActive
-	colActive := st.colActive
+	rowActive := st.rowActive[:m]
+	colActive := st.colActive[:n]
 	for i := range rowActive {
 		rowActive[i] = true
 	}
@@ -392,7 +482,7 @@ func (st *simplexState) initVogel(supply, demand []float64) {
 func (st *simplexState) patchBasis() {
 	total := st.m + st.n
 	parent := st.uf
-	for i := range parent {
+	for i := 0; i < total; i++ {
 		parent[i] = int32(i)
 	}
 	find := func(x int) int {
@@ -443,10 +533,10 @@ func (st *simplexState) patchBasis() {
 // computeDuals solves u_i + v_j = c_ij over the basis tree with
 // u_0 = 0, via BFS from node 0.
 func (st *simplexState) computeDuals() {
-	for i := range st.uSet {
+	for i := 0; i < st.m; i++ {
 		st.uSet[i] = false
 	}
-	for j := range st.vSet {
+	for j := 0; j < st.n; j++ {
 		st.vSet[j] = false
 	}
 	st.queue = st.queue[:0]
@@ -547,7 +637,7 @@ func (st *simplexState) pivot(ei, ej int) {
 	// BFS in the basis tree from row node ei to column node m+ej.
 	start := int32(ei)
 	target := int32(st.m + ej)
-	for i := range st.parent {
+	for i := 0; i < st.m+st.n; i++ {
 		st.parent[i] = -1
 	}
 	st.parent[start] = start
@@ -626,12 +716,12 @@ func (st *simplexState) pivot(ei, ej int) {
 // in the initializer-equivalence tests.
 func (st *simplexState) initRussell(supply, demand []float64) {
 	m, n := st.m, st.n
-	s := st.vs
-	d := st.vd
+	s := st.vs[:m]
+	d := st.vd[:n]
 	copy(s, supply)
 	copy(d, demand)
-	rowActive := st.rowActive
-	colActive := st.colActive
+	rowActive := st.rowActive[:m]
+	colActive := st.colActive[:n]
 	for i := range rowActive {
 		rowActive[i] = true
 	}

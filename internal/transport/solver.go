@@ -38,6 +38,13 @@ func (s *Solver) Shape() (m, n int) { return s.m, s.n }
 // shape must match the solver's. On the (rare) simplex iteration-limit
 // failure it falls back to the allocating SSP solver so callers always
 // get an exact value.
+//
+// SolveValue validates p and always runs the full dense shape from a
+// cold (Vogel) start — the legacy kernel. The returned objective is
+// the canonical double-double dual objective of the polished terminal
+// basis, so it is bit-identical to what SolveValueBounded reports for
+// the same problem when that solve runs to optimality, regardless of
+// warm starts or sparsity reduction.
 func (s *Solver) SolveValue(p Problem) (float64, error) {
 	if len(p.Supply) != s.m || len(p.Demand) != s.n {
 		return 0, fmt.Errorf("transport: solver is %dx%d, problem is %dx%d",
@@ -59,7 +66,50 @@ func (s *Solver) SolveValue(p Problem) (float64, error) {
 		}
 		return 0, err
 	}
-	obj := objective(p.Cost, st.flow)
+	st.polish(p.Supply, p.Demand)
+	obj := st.canonicalValue(p.Supply, p.Demand)
 	s.pool.Put(st)
 	return obj, nil
+}
+
+// SolveValueBounded is the threshold-aware form of SolveValue: it
+// solves p but may return early — with Aborted=true and a certified
+// lower bound as Value — as soon as a dual-feasible solution proves
+// the optimum exceeds abortAbove. Pass abortAbove = +Inf to always run
+// to optimality.
+//
+// Three optimizations distinguish it from SolveValue. (1) Zero-mass
+// rows and columns are stripped before solving (Rows/Cols report the
+// reduced shape), which changes nothing about the optimum. (2) The
+// pooled state caches the basis of its previous optimal solve and
+// re-enters from it; dual feasibility of a basis depends only on the
+// cost matrix, which is fixed per Solver, so this is a principled
+// restart and falls back to Vogel when infeasible-for-the-new-
+// marginals beyond repair. (3) After each dual recomputation a
+// feasibility-repaired dual objective is evaluated as a certified
+// lower bound (weak duality) against abortAbove.
+//
+// The inputs are trusted — no validation is performed; callers own the
+// marginals (non-negative, balanced) and the cost matrix was vetted at
+// NewSolver time by the usual constructors. When the solve completes,
+// Value is bit-identical to SolveValue's for the same problem.
+func (s *Solver) SolveValueBounded(p Problem, abortAbove float64) (BoundedResult, error) {
+	if len(p.Supply) != s.m || len(p.Demand) != s.n {
+		return BoundedResult{}, fmt.Errorf("transport: solver is %dx%d, problem is %dx%d",
+			s.m, s.n, len(p.Supply), len(p.Demand))
+	}
+	st := s.pool.Get().(*simplexState)
+	res, err := st.solveBounded(p, abortAbove)
+	s.pool.Put(st)
+	if err != nil {
+		if errors.Is(err, ErrIterationLimit) {
+			sol, sspErr := SolveSSP(p)
+			if sspErr != nil {
+				return BoundedResult{}, sspErr
+			}
+			return BoundedResult{Value: sol.Objective, Rows: res.Rows, Cols: res.Cols}, nil
+		}
+		return BoundedResult{}, err
+	}
+	return res, nil
 }

@@ -46,6 +46,17 @@ type Metrics struct {
 	Pulled             int64 `json:"pulled"`
 	Refinements        int64 `json:"refinements"`
 	RefinementsSkipped int64 `json:"refinements_skipped"`
+	// RefinesAborted and WarmStartHits are the summed threshold-aware
+	// refinement counters: solves abandoned early on a certified bound,
+	// and solves that re-entered from a cached basis. Both stay zero
+	// under Options.UnboundedRefine.
+	RefinesAborted int64 `json:"refines_aborted"`
+	WarmStartHits  int64 `json:"warm_start_hits"`
+	// RefineRows and RefineCols accumulate the reduced (zero-mass bins
+	// stripped) problem shapes of all refinements; divide by
+	// Refinements for the average solved shape.
+	RefineRows int64 `json:"refine_rows"`
+	RefineCols int64 `json:"refine_cols"`
 
 	// FilterTime and RefineTime are cumulative wall times of the
 	// filter and refinement stages; RefineTime sums across refinement
@@ -89,6 +100,10 @@ func (em *engineMetrics) observe(kind metricKind, stats *QueryStats) {
 	em.m.Pulled += int64(stats.Pulled)
 	em.m.Refinements += int64(stats.Refinements)
 	em.m.RefinementsSkipped += int64(stats.RefinementsSkipped)
+	em.m.RefinesAborted += int64(stats.RefinesAborted)
+	em.m.WarmStartHits += int64(stats.WarmStartHits)
+	em.m.RefineRows += stats.RefineRows
+	em.m.RefineCols += stats.RefineCols
 	em.m.FilterTime += stats.FilterTime
 	em.m.RefineTime += stats.RefineTime
 	em.m.QueryTime += stats.TotalTime
