@@ -1,6 +1,7 @@
 package emdsearch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,6 +39,10 @@ type ApproxCertificate struct {
 // from the engine snapshot and the greedy bound evaluator (whose
 // scratch state is goroutine-private) is drawn from a pool.
 func (e *Engine) ApproxKNN(q Histogram, k int) ([]ApproxResult, *ApproxCertificate, error) {
+	return e.approxKNN(context.Background(), q, k)
+}
+
+func (e *Engine) approxKNN(ctx context.Context, q Histogram, k int) ([]ApproxResult, *ApproxCertificate, error) {
 	if err := e.validateQuery(q); err != nil {
 		return nil, nil, err
 	}
@@ -48,11 +53,17 @@ func (e *Engine) ApproxKNN(q Histogram, k int) ([]ApproxResult, *ApproxCertifica
 	if s.red == nil {
 		return nil, nil, fmt.Errorf("emdsearch: ApproxKNN needs a built reduction (set ReducedDims and call Build)")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	upper := s.greedyUpper()
 	defer s.putGreedy(upper)
 	qr := s.red.Apply(q)
 	lowers := make([]float64, len(s.vectors))
 	for i := range s.vectors {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if s.deleted[i] {
 			lowers[i] = math.Inf(1)
 			continue

@@ -31,18 +31,28 @@ func (e *Engine) BatchKNN(queries []Histogram, k, workers int) ([]BatchResult, e
 	if k < 1 {
 		return nil, fmt.Errorf("emdsearch: k = %d, want >= 1", k)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
 	// Build the shared pipeline once, before fanning out.
 	if _, err := e.snapshot(); err != nil {
 		return nil, err
 	}
 
 	out := make([]BatchResult, len(queries))
+	runBatch(queries, workers, func(qi int) {
+		results, stats, err := e.KNN(queries[qi], k)
+		out[qi] = BatchResult{Query: qi, Results: results, Stats: stats, Err: err}
+	})
+	return out, nil
+}
+
+// runBatch distributes query indices over up to workers goroutines
+// (0 or negative means GOMAXPROCS, capped at the batch size).
+func runBatch(queries []Histogram, workers int, run func(qi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -50,8 +60,7 @@ func (e *Engine) BatchKNN(queries []Histogram, k, workers int) ([]BatchResult, e
 		go func() {
 			defer wg.Done()
 			for qi := range next {
-				results, stats, err := e.KNN(queries[qi], k)
-				out[qi] = BatchResult{Query: qi, Results: results, Stats: stats, Err: err}
+				run(qi)
 			}
 		}()
 	}
@@ -60,5 +69,4 @@ func (e *Engine) BatchKNN(queries []Histogram, k, workers int) ([]BatchResult, e
 	}
 	close(next)
 	wg.Wait()
-	return out, nil
 }

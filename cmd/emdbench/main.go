@@ -6,7 +6,7 @@
 // Usage:
 //
 //	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine] [-scale full|medium|quick] [-csv] [-seed N] [-dprime D]
-//	         [-workers N] [-concurrency N] [-out FILE]
+//	         [-workers N] [-concurrency N] [-timeout D] [-out FILE]
 //
 // The full scale approximates the paper's corpus sizes and can take
 // tens of minutes for the complete suite; quick finishes in a couple
@@ -16,7 +16,10 @@
 // experiment: concurrent client goroutines (-concurrency) fire k-NN
 // queries, each refined by a per-query worker pool (-workers), while a
 // background writer keeps mutating the index. It reports throughput,
-// latency and the engine's aggregated Metrics.
+// tail latency (p50/p95/p99) and the engine's aggregated Metrics. With
+// -timeout every query gets a deadline through KNNCtx: queries that
+// miss it return certified anytime answers instead of stretching the
+// tail, and the report counts how many degraded.
 //
 // -exp refine benchmarks the threshold-aware exact refinement kernel
 // against the legacy unbounded one on an identical k-NN workload,
@@ -43,6 +46,7 @@ func main() {
 		recall    = flag.Bool("check-recall", false, "verify every pipeline result against an exhaustive scan (slow)")
 		workers   = flag.Int("workers", 1, "serve mode: refinement workers per query (negative = GOMAXPROCS)")
 		conc      = flag.Int("concurrency", 4, "serve mode: concurrent query clients")
+		timeout   = flag.Duration("timeout", 0, "serve mode: per-query deadline, e.g. 500us or 2ms (0 = no deadline)")
 		outFlag   = flag.String("out", "", "refine mode: write the JSON report to this path")
 	)
 	flag.Parse()
@@ -71,7 +75,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "emdbench: -concurrency must be at least 1 (got %d)\n", *conc)
 			os.Exit(2)
 		}
-		sc := serveConfig{n: 300, d: 32, queries: 200, workers: *workers, concurrency: *conc, seed: *seedFlag}
+		sc := serveConfig{n: 300, d: 32, queries: 200, workers: *workers, concurrency: *conc, seed: *seedFlag, timeout: *timeout}
 		switch *scaleFlag {
 		case "full":
 			sc.n, sc.d, sc.queries = 2000, 96, 1000

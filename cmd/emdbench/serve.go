@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,14 +18,21 @@ type serveConfig struct {
 	workers       int // per-query refinement workers (Options.Workers)
 	concurrency   int // concurrent query clients
 	seed          int64
+	// timeout, when positive, gives every query a deadline via KNNCtx;
+	// queries that miss it return certified anytime answers and are
+	// counted as degraded. Zero keeps the context-free KNN path.
+	timeout time.Duration
 }
 
 // runServe benchmarks the engine as a concurrent query server: it
 // builds one engine and fires k-NN queries from `concurrency` client
 // goroutines, each query refining with `workers` goroutines, while a
 // background goroutine keeps mutating the index (Add) to exercise the
-// snapshot path. It reports throughput, latency and the engine's
-// aggregated Metrics.
+// snapshot path. It reports throughput, tail latency (p50/p95/p99) and
+// the engine's aggregated Metrics. With a per-query timeout the
+// queries run through KNNCtx: missed deadlines degrade to certified
+// anytime answers instead of blowing the tail, and the report shows
+// how many queries degraded.
 func runServe(cfg serveConfig) error {
 	ds, err := data.MusicSpectra(cfg.n+16, cfg.d, cfg.seed)
 	if err != nil {
@@ -54,8 +63,13 @@ func runServe(cfg serveConfig) error {
 		return err
 	}
 
-	fmt.Printf("serve: n=%d d=%d d'=%d queries=%d concurrency=%d workers=%d\n",
-		len(vecs), cfg.d, dprime, cfg.queries, cfg.concurrency, cfg.workers)
+	if cfg.timeout > 0 {
+		fmt.Printf("serve: n=%d d=%d d'=%d queries=%d concurrency=%d workers=%d timeout=%v\n",
+			len(vecs), cfg.d, dprime, cfg.queries, cfg.concurrency, cfg.workers, cfg.timeout)
+	} else {
+		fmt.Printf("serve: n=%d d=%d d'=%d queries=%d concurrency=%d workers=%d\n",
+			len(vecs), cfg.d, dprime, cfg.queries, cfg.concurrency, cfg.workers)
+	}
 
 	// Background writer: one Add per millisecond, forcing snapshot
 	// rebuilds under load the way a live ingest would.
@@ -79,10 +93,14 @@ func runServe(cfg serveConfig) error {
 	}()
 
 	var (
-		next      int64
-		latencyNS int64
-		wg        sync.WaitGroup
+		next     int64
+		degraded int64
+		anytime  int64 // certified items carried by degraded answers
+		wg       sync.WaitGroup
 	)
+	// Per-query latencies, indexed by query number: lock-free writes,
+	// and the tail percentiles come out of one sort afterwards.
+	latencies := make([]time.Duration, cfg.queries)
 	start := time.Now()
 	for c := 0; c < cfg.concurrency; c++ {
 		wg.Add(1)
@@ -95,11 +113,23 @@ func runServe(cfg serveConfig) error {
 				}
 				q := queries[qi%int64(len(queries))]
 				t0 := time.Now()
-				if _, _, err := eng.KNN(q, 10); err != nil {
+				if cfg.timeout > 0 {
+					ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+					ans, err := eng.KNNCtx(ctx, q, 10)
+					cancel()
+					if err != nil && ans == nil {
+						fmt.Printf("serve: query error: %v\n", err)
+						return
+					}
+					if ans.Degraded {
+						atomic.AddInt64(&degraded, 1)
+						atomic.AddInt64(&anytime, int64(len(ans.Anytime)))
+					}
+				} else if _, _, err := eng.KNN(q, 10); err != nil {
 					fmt.Printf("serve: query error: %v\n", err)
 					return
 				}
-				atomic.AddInt64(&latencyNS, int64(time.Since(t0)))
+				latencies[qi] = time.Since(t0)
 			}
 		}()
 	}
@@ -108,14 +138,30 @@ func runServe(cfg serveConfig) error {
 	close(stopWriter)
 	writerWG.Wait()
 
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var totalNS int64
+	for _, l := range latencies {
+		totalNS += int64(l)
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i].Round(time.Microsecond)
+	}
 	qps := float64(cfg.queries) / elapsed.Seconds()
-	meanLat := time.Duration(latencyNS / int64(cfg.queries))
+	meanLat := time.Duration(totalNS / int64(cfg.queries))
 	fmt.Printf("served %d queries in %v: %.1f qps, mean latency %v\n",
 		cfg.queries, elapsed.Round(time.Millisecond), qps, meanLat.Round(time.Microsecond))
+	fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n",
+		pct(0.50), pct(0.95), pct(0.99), pct(1.0))
+	if cfg.timeout > 0 {
+		fmt.Printf("deadline: %d/%d queries degraded (%.1f%%), %d certified anytime items returned\n",
+			degraded, cfg.queries, 100*float64(degraded)/float64(cfg.queries), anytime)
+	}
 
 	m := eng.Metrics()
-	fmt.Printf("metrics: knn=%d errors=%d snapshot_builds=%d pulled=%d refinements=%d skipped=%d\n",
-		m.KNNQueries, m.QueryErrors, m.SnapshotBuilds, m.Pulled, m.Refinements, m.RefinementsSkipped)
+	fmt.Printf("metrics: knn=%d errors=%d cancelled=%d degraded=%d snapshot_builds=%d pulled=%d refinements=%d skipped=%d\n",
+		m.KNNQueries, m.QueryErrors, m.QueriesCancelled, m.QueriesDeadlineDegraded,
+		m.SnapshotBuilds, m.Pulled, m.Refinements, m.RefinementsSkipped)
 	fmt.Printf("         filter=%v refine=%v query=%v\n",
 		m.FilterTime.Round(time.Millisecond), m.RefineTime.Round(time.Millisecond), m.QueryTime.Round(time.Millisecond))
 	for name, st := range m.Stages {

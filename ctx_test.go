@@ -1,0 +1,526 @@
+package emdsearch
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// cancelledCtx returns a context that is already expired.
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// TestKNNCtxBackgroundIdentity checks the no-deadline contract: with
+// context.Background() the ctx variant takes the same code path as KNN
+// and returns bit-identical results and counters.
+func TestKNNCtxBackgroundIdentity(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 150)
+	for _, q := range queries {
+		want, wantStats, err := eng.KNN(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := eng.KNNCtx(context.Background(), q, 10)
+		if err != nil {
+			t.Fatalf("KNNCtx(Background): %v", err)
+		}
+		if ans.Degraded || ans.Anytime != nil || ans.Unpulled != 0 {
+			t.Fatalf("Background query degraded: %+v", ans)
+		}
+		if len(ans.Results) != len(want) {
+			t.Fatalf("KNNCtx returned %d results, KNN %d", len(ans.Results), len(want))
+		}
+		for i := range want {
+			if ans.Results[i].Index != want[i].Index || ans.Results[i].Dist != want[i].Dist {
+				t.Fatalf("result %d: ctx %+v != plain %+v", i, ans.Results[i], want[i])
+			}
+		}
+		if ans.Stats.Pulled != wantStats.Pulled || ans.Stats.Refinements != wantStats.Refinements {
+			t.Fatalf("stats diverge: ctx pulled=%d refines=%d, plain pulled=%d refines=%d",
+				ans.Stats.Pulled, ans.Stats.Refinements, wantStats.Pulled, wantStats.Refinements)
+		}
+		if ans.Stats.Cancelled {
+			t.Fatal("Background query marked Cancelled")
+		}
+	}
+}
+
+// TestKNNCtxAlreadyCancelled checks the fast path: a context that is
+// expired on entry returns immediately with an empty but sound degraded
+// answer, ctx's error, and the cancellation metrics bumped.
+func TestKNNCtxAlreadyCancelled(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 80)
+	before := eng.Metrics()
+	ans, err := eng.KNNCtx(cancelledCtx(), queries[0], 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ans == nil {
+		t.Fatal("cancelled query returned a nil answer; the degraded answer must accompany the error")
+	}
+	if !ans.Degraded || !ans.Stats.Cancelled {
+		t.Fatalf("Degraded=%v Stats.Cancelled=%v, want both true", ans.Degraded, ans.Stats.Cancelled)
+	}
+	if len(ans.Results) != 0 || len(ans.Anytime) != 0 {
+		t.Fatalf("entry-cancelled query produced results: %+v", ans)
+	}
+	if ans.Unpulled != eng.Len() {
+		t.Fatalf("Unpulled = %d, want the whole database %d", ans.Unpulled, eng.Len())
+	}
+	after := eng.Metrics()
+	if after.QueriesCancelled != before.QueriesCancelled+1 {
+		t.Fatalf("QueriesCancelled %d -> %d, want +1", before.QueriesCancelled, after.QueriesCancelled)
+	}
+	if after.QueriesDeadlineDegraded != before.QueriesDeadlineDegraded+1 {
+		t.Fatalf("QueriesDeadlineDegraded %d -> %d, want +1",
+			before.QueriesDeadlineDegraded, after.QueriesDeadlineDegraded)
+	}
+}
+
+// checkAnytimeSoundness verifies the certificate of a degraded k-NN
+// answer against exhaustively computed exact distances: every interval
+// contains its item's exact EMD, every confirmed result is exact, and
+// the bookkeeping adds up.
+func checkAnytimeSoundness(t *testing.T, eng *Engine, q Histogram, ans *KNNAnswer) {
+	t.Helper()
+	const tol = 1e-9
+	for _, it := range ans.Anytime {
+		if it.Lower > it.Upper+tol {
+			t.Fatalf("item %d: inverted interval [%v, %v]", it.Index, it.Lower, it.Upper)
+		}
+		exact := exactDist(t, eng, q, it.Index)
+		if exact < it.Lower-tol || exact > it.Upper+tol {
+			t.Fatalf("item %d: exact %v outside certified [%v, %v]", it.Index, exact, it.Lower, it.Upper)
+		}
+		if it.Refined && it.Lower != it.Upper {
+			t.Fatalf("item %d: Refined but interval [%v, %v] not tight", it.Index, it.Lower, it.Upper)
+		}
+	}
+	for _, r := range ans.Results {
+		exact := exactDist(t, eng, q, r.Index)
+		if math.Abs(r.Dist-exact) > tol {
+			t.Fatalf("confirmed result %d: dist %v != exact %v", r.Index, r.Dist, exact)
+		}
+	}
+	if ans.Unpulled != eng.Len()-ans.Stats.Pulled {
+		t.Fatalf("Unpulled = %d, want len %d - pulled %d", ans.Unpulled, eng.Len(), ans.Stats.Pulled)
+	}
+}
+
+// TestKNNCtxAnytimeSoundness runs queries under a spread of tight
+// deadlines. Each outcome must be sound: degraded answers carry
+// certified intervals containing the exact distances; completed answers
+// equal the undeadlined result exactly.
+func TestKNNCtxAnytimeSoundness(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 200)
+	q := queries[0]
+	want, _, err := eng.KNN(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := 0
+	timeouts := []time.Duration{
+		0, // expired on entry: deterministic degradation
+		50 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+		time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	}
+	for _, d := range timeouts {
+		for rep := 0; rep < 3; rep++ {
+			ctx, cancel := context.WithTimeout(context.Background(), d)
+			ans, err := eng.KNNCtx(ctx, q, 10)
+			cancel()
+			if err != nil {
+				if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					t.Fatalf("timeout %v: unexpected error %v", d, err)
+				}
+				if ans == nil || !ans.Degraded {
+					t.Fatalf("timeout %v: error without a degraded answer", d)
+				}
+				degraded++
+				checkAnytimeSoundness(t, eng, q, ans)
+				continue
+			}
+			if ans.Degraded {
+				t.Fatalf("timeout %v: Degraded answer without an error", d)
+			}
+			for i := range want {
+				if ans.Results[i].Index != want[i].Index || ans.Results[i].Dist != want[i].Dist {
+					t.Fatalf("timeout %v: completed result %d diverges from exact answer", d, i)
+				}
+			}
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no query degraded under any deadline (the 0-timeout trial must)")
+	}
+	t.Logf("%d/%d queries degraded", degraded, 3*len(timeouts))
+}
+
+// TestKNNCtxParallelAnytimeSoundness is the Workers>0 form of the
+// soundness test: cancellation must drain the refinement pool and the
+// pending candidates collected from in-flight workers must still carry
+// sound intervals.
+func TestKNNCtxParallelAnytimeSoundness(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16, Workers: 4}, 200)
+	q := queries[1]
+	degraded := 0
+	for _, d := range []time.Duration{0, 100 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond} {
+		for rep := 0; rep < 3; rep++ {
+			ctx, cancel := context.WithTimeout(context.Background(), d)
+			ans, err := eng.KNNCtx(ctx, q, 10)
+			cancel()
+			if err != nil {
+				if ans == nil || !ans.Degraded {
+					t.Fatalf("timeout %v: error without a degraded answer", d)
+				}
+				degraded++
+				checkAnytimeSoundness(t, eng, q, ans)
+			}
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no parallel query degraded under any deadline")
+	}
+}
+
+// TestKNNCtxMidQueryCancelReturnsPromptly cancels a running query from
+// another goroutine and requires the call to return quickly — the
+// cancel flag is polled per candidate and per simplex pivot, so even
+// mid-solve the query must unwind far faster than it would take to
+// finish. The answer, whether completed or degraded, must be sound.
+func TestKNNCtxMidQueryCancelReturnsPromptly(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 250)
+	q := queries[2]
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		ans *KNNAnswer
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		ans, err := eng.KNNCtx(ctx, q, 10)
+		done <- outcome{ans, err}
+	}()
+	time.Sleep(200 * time.Microsecond)
+	cancel()
+	t0 := time.Now()
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("query did not return after cancellation")
+	}
+	if lat := time.Since(t0); lat > time.Second {
+		t.Fatalf("query took %v to honor cancellation", lat)
+	}
+	if out.err != nil {
+		if out.ans == nil || !out.ans.Degraded {
+			t.Fatal("cancelled query returned error without degraded answer")
+		}
+		checkAnytimeSoundness(t, eng, q, out.ans)
+	}
+}
+
+// TestRangeCtx covers the range-query contract: Background identity,
+// immediate return on an expired context, and individually certified
+// partial results on mid-query expiry.
+func TestRangeCtx(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 150)
+	q := queries[0]
+	dd, err := eng.DistanceDistribution(q, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := dd.Quantile(0.3)
+
+	want, _, err := eng.Range(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := eng.RangeCtx(context.Background(), q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cancelled {
+		t.Fatal("Background range marked Cancelled")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("RangeCtx(Background) returned %d results, Range %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: ctx %+v != plain %+v", i, got[i], want[i])
+		}
+	}
+
+	_, stats, err = eng.RangeCtx(cancelledCtx(), q, eps)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired range: err = %v, want context.Canceled", err)
+	}
+	if stats == nil || !stats.Cancelled {
+		t.Fatal("expired range did not report Cancelled stats")
+	}
+
+	const tol = 1e-9
+	for _, d := range []time.Duration{100 * time.Microsecond, time.Millisecond} {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		partial, st, err := eng.RangeCtx(ctx, q, eps)
+		cancel()
+		if err == nil {
+			continue // finished in time; identity covered above
+		}
+		if st == nil || !st.Cancelled {
+			t.Fatalf("timeout %v: error without Cancelled stats", d)
+		}
+		for _, r := range partial {
+			if r.Dist > eps+tol {
+				t.Fatalf("partial result %d at %v exceeds eps %v", r.Index, r.Dist, eps)
+			}
+			if exact := exactDist(t, eng, q, r.Index); math.Abs(r.Dist-exact) > tol {
+				t.Fatalf("partial result %d: dist %v != exact %v", r.Index, r.Dist, exact)
+			}
+		}
+	}
+}
+
+// TestRankCtx checks that a cancelled incremental ranking stops
+// yielding, that everything yielded before the cancellation is exact
+// and in true EMD order, and that Background pulls match Rank's.
+func TestRankCtx(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 100)
+	q := queries[0]
+
+	plain, err := eng.Rank(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	stream, err := eng.RankCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	for pull := 0; pull < 5; pull++ {
+		wi, wd, wok := plain.Next()
+		gi, gd, gok := stream.Next()
+		if !wok || !gok {
+			t.Fatalf("pull %d: exhausted early (plain=%v ctx=%v)", pull, wok, gok)
+		}
+		if gi != wi || gd != wd {
+			t.Fatalf("pull %d: ctx (%d, %v) != plain (%d, %v)", pull, gi, gd, wi, wd)
+		}
+		if gd < prev {
+			t.Fatalf("pull %d: out of order (%v after %v)", pull, gd, prev)
+		}
+		prev = gd
+		if exact := exactDist(t, eng, q, gi); math.Abs(gd-exact) > 1e-9 {
+			t.Fatalf("pull %d: yielded %v != exact %v", pull, gd, exact)
+		}
+	}
+	cancel()
+	if _, _, ok := stream.Next(); ok {
+		t.Fatal("Next yielded after cancellation")
+	}
+	if _, _, ok := stream.Next(); ok {
+		t.Fatal("Next yielded on repeat call after cancellation")
+	}
+}
+
+// TestBatchKNNCtx checks Background identity against BatchKNN and the
+// shared-deadline contract: with an expired context every entry carries
+// the context error and a degraded answer.
+func TestBatchKNNCtx(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 100)
+	want, err := eng.BatchKNN(queries, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.BatchKNNCtx(context.Background(), queries, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].Err != nil || got[i].Err != nil {
+			t.Fatalf("query %d: errors %v / %v", i, want[i].Err, got[i].Err)
+		}
+		w, g := want[i].Results, got[i].Answer.Results
+		if len(w) != len(g) {
+			t.Fatalf("query %d: %d vs %d results", i, len(w), len(g))
+		}
+		for j := range w {
+			if w[j] != g[j] {
+				t.Fatalf("query %d result %d: %+v != %+v", i, j, w[j], g[j])
+			}
+		}
+	}
+
+	expired, err := eng.BatchKNNCtx(cancelledCtx(), queries, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range expired {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("query %d: err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.Answer == nil || !r.Answer.Degraded {
+			t.Fatalf("query %d: no degraded answer", i)
+		}
+	}
+
+	if _, err := eng.BatchKNNCtx(context.Background(), nil, 5, 2); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := eng.BatchKNNCtx(context.Background(), queries, 0, 2); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+// TestAuxiliaryCtxVariants checks every remaining ctx variant twice:
+// with Background it must agree with its context-free sibling, and with
+// an expired context it must return the context error.
+func TestAuxiliaryCtxVariants(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 16}, 100)
+	q := queries[0]
+	bg := context.Background()
+	dead := cancelledCtx()
+
+	// ApproxKNN
+	wantA, wantCert, err := eng.ApproxKNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, gotCert, err := eng.ApproxKNNCtx(bg, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotA) != len(wantA) || *gotCert != *wantCert {
+		t.Fatalf("ApproxKNNCtx(Background) diverges: %+v vs %+v", gotCert, wantCert)
+	}
+	for i := range wantA {
+		if gotA[i] != wantA[i] {
+			t.Fatalf("ApproxKNNCtx result %d: %+v != %+v", i, gotA[i], wantA[i])
+		}
+	}
+	if _, _, err := eng.ApproxKNNCtx(dead, q, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApproxKNNCtx(expired): err = %v", err)
+	}
+
+	// EpsilonForCount
+	wantEps, err := eng.EpsilonForCount(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEps, err := eng.EpsilonForCountCtx(bg, q, 10)
+	if err != nil || gotEps != wantEps {
+		t.Fatalf("EpsilonForCountCtx(Background) = %v, %v; want %v", gotEps, err, wantEps)
+	}
+	if _, err := eng.EpsilonForCountCtx(dead, q, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EpsilonForCountCtx(expired): err = %v", err)
+	}
+
+	// DistanceDistribution
+	wantDD, err := eng.DistanceDistribution(q, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDD, err := eng.DistanceDistributionCtx(bg, q, 20)
+	if err != nil || gotDD.Count() != wantDD.Count() || gotDD.Mean() != wantDD.Mean() {
+		t.Fatalf("DistanceDistributionCtx(Background) diverges (err %v)", err)
+	}
+	if _, err := eng.DistanceDistributionCtx(dead, q, 20); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DistanceDistributionCtx(expired): err = %v", err)
+	}
+
+	// RangeIDs
+	eps := wantDD.Quantile(0.3)
+	wantIDs, err := eng.RangeIDs(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIDs, err := eng.RangeIDsCtx(bg, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotIDs) != len(wantIDs) {
+		t.Fatalf("RangeIDsCtx(Background): %d ids, want %d", len(gotIDs), len(wantIDs))
+	}
+	for i := range wantIDs {
+		if gotIDs[i] != wantIDs[i] {
+			t.Fatalf("RangeIDsCtx id %d: %d != %d", i, gotIDs[i], wantIDs[i])
+		}
+	}
+	if _, err := eng.RangeIDsCtx(dead, q, eps); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RangeIDsCtx(expired): err = %v", err)
+	}
+
+	// Distance
+	wantD, err := eng.Distance(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotD, err := eng.DistanceCtx(bg, q, 3)
+	if err != nil || gotD != wantD {
+		t.Fatalf("DistanceCtx(Background) = %v, %v; want %v", gotD, err, wantD)
+	}
+	if _, err := eng.DistanceCtx(dead, q, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DistanceCtx(expired): err = %v", err)
+	}
+	if _, err := eng.DistanceCtx(bg, q, eng.Len()); err == nil {
+		t.Error("DistanceCtx accepted out-of-range index")
+	}
+
+	// Explain
+	if _, err := eng.Explain(q, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExplainCtx(bg, q, 3, 4); err != nil {
+		t.Fatalf("ExplainCtx(Background): %v", err)
+	}
+	if _, err := eng.ExplainCtx(dead, q, 3, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExplainCtx(expired): err = %v", err)
+	}
+
+	// KNNWhere / KNNWithLabel ctx forms
+	pred := func(i int) bool { return i%2 == 0 }
+	wantW, _, err := eng.KNNWhere(q, 5, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotW, err := eng.KNNWhereCtx(bg, q, 5, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantW {
+		if gotW.Results[i] != wantW[i] {
+			t.Fatalf("KNNWhereCtx result %d: %+v != %+v", i, gotW.Results[i], wantW[i])
+		}
+	}
+	if _, err := eng.KNNWhereCtx(bg, q, 5, nil); err == nil {
+		t.Error("KNNWhereCtx accepted a nil predicate")
+	}
+	if _, err := eng.KNNWhereCtx(dead, q, 5, pred); !errors.Is(err, context.Canceled) {
+		t.Fatalf("KNNWhereCtx(expired): err = %v", err)
+	}
+	label := eng.Label(0)
+	wantL, _, err := eng.KNNWithLabel(q, 3, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotL, err := eng.KNNWithLabelCtx(bg, q, 3, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantL {
+		if gotL.Results[i] != wantL[i] {
+			t.Fatalf("KNNWithLabelCtx result %d: %+v != %+v", i, gotL.Results[i], wantL[i])
+		}
+	}
+	if _, err := eng.KNNWithLabelCtx(dead, q, 3, label); !errors.Is(err, context.Canceled) {
+		t.Fatalf("KNNWithLabelCtx(expired): err = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package emdsearch
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"emdsearch/internal/cluster"
 	"emdsearch/internal/core"
@@ -154,6 +156,7 @@ type Engine struct {
 type snapshot struct {
 	searcher *search.Searcher
 	vectors  []Histogram
+	labels   []string     // captured at build time; lock-free predicate reads
 	deleted  map[int]bool // copied at build time; read-only afterwards
 	dist     *emd.Dist
 	dim      int
@@ -194,6 +197,26 @@ func (s *snapshot) refineBounded(q Histogram, i int, abortAbove float64) search.
 		WarmStart: r.WarmStart,
 		Rows:      r.Rows,
 		Cols:      r.Cols,
+	}
+}
+
+// refineBoundedIntr is refineBounded with the query's cancel flag
+// threaded into the simplex pivot loop: once the flag is set the solve
+// stops within one pivot and returns Interrupted with a certified
+// lower bound, so a deadline takes effect inside a single large
+// refinement instead of only between refinements.
+func (s *snapshot) refineBoundedIntr(q Histogram, i int, abortAbove float64, intr *atomic.Bool) search.Refinement {
+	if s.deleted[i] {
+		return search.Refinement{Dist: math.Inf(1)}
+	}
+	r := s.dist.DistanceBoundedIntr(q, s.vectors[i], abortAbove, intr)
+	return search.Refinement{
+		Dist:        r.Value,
+		Aborted:     r.Aborted,
+		Interrupted: r.Interrupted,
+		WarmStart:   r.WarmStart,
+		Rows:        r.Rows,
+		Cols:        r.Cols,
 	}
 }
 
@@ -495,12 +518,17 @@ func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 		return nil, fmt.Errorf("emdsearch: no indexed histograms")
 	}
 	vectors := e.store.Vectors()
+	labels := make([]string, e.store.Len())
+	for i := range labels {
+		labels[i] = e.store.Item(i).Label
+	}
 	deleted := make(map[int]bool, len(e.deleted))
 	for i := range e.deleted {
 		deleted[i] = true
 	}
 	snap := &snapshot{
 		vectors: vectors,
+		labels:  labels,
 		deleted: deleted,
 		dist:    e.dist,
 		dim:     e.store.Dim(),
@@ -520,6 +548,7 @@ func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 		s.Refine = snap.refineUnbounded
 	} else {
 		s.RefineBounded = snap.refineBounded
+		s.RefineBoundedIntr = snap.refineBoundedIntr
 	}
 	if e.opts.Positions != nil {
 		cb, err := lb.NewCentroid(e.opts.Positions, e.opts.Positions, e.opts.PositionNorm)
@@ -664,53 +693,22 @@ func (e *Engine) validateQuery(q Histogram) error {
 
 // KNN returns the k nearest neighbors of q under the exact EMD,
 // computed losslessly through the filter chain. Safe for concurrent
-// use.
+// use. It is a thin wrapper over KNNCtx with context.Background():
+// results are byte-identical, and no cancellation machinery is
+// engaged for a context that can never be cancelled.
 func (e *Engine) KNN(q Histogram, k int) ([]Result, *QueryStats, error) {
-	if err := e.validateQuery(q); err != nil {
-		e.metrics.queryError()
-		return nil, nil, err
-	}
-	s, err := e.snapshot()
+	ans, err := e.KNNCtx(context.Background(), q, k)
 	if err != nil {
-		e.metrics.queryError()
 		return nil, nil, err
 	}
-	results, stats, err := s.searcher.KNN(q, k)
-	if err != nil {
-		e.metrics.queryError()
-		return nil, nil, err
-	}
-	// Soft-deleted items surface with infinite distance when fewer
-	// than k live items remain; drop them.
-	live := results[:0]
-	for _, r := range results {
-		if !math.IsInf(r.Dist, 1) {
-			live = append(live, r)
-		}
-	}
-	e.metrics.observe(metricKNN, stats)
-	return live, stats, nil
+	return ans.Results, ans.Stats, nil
 }
 
 // Range returns all items within exact EMD eps of q. Safe for
-// concurrent use.
+// concurrent use. It is a thin wrapper over RangeCtx with
+// context.Background(); results are byte-identical.
 func (e *Engine) Range(q Histogram, eps float64) ([]Result, *QueryStats, error) {
-	if err := e.validateQuery(q); err != nil {
-		e.metrics.queryError()
-		return nil, nil, err
-	}
-	s, err := e.snapshot()
-	if err != nil {
-		e.metrics.queryError()
-		return nil, nil, err
-	}
-	results, stats, err := s.searcher.Range(q, eps)
-	if err != nil {
-		e.metrics.queryError()
-		return nil, nil, err
-	}
-	e.metrics.observe(metricRange, stats)
-	return results, stats, nil
+	return e.RangeCtx(context.Background(), q, eps)
 }
 
 // Distance computes the exact EMD between q and indexed item i. It

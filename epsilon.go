@@ -1,6 +1,7 @@
 package emdsearch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,16 +10,22 @@ import (
 )
 
 // EpsilonForCount returns a range radius guaranteed to make
-// Range(q, eps) return at least `count` results, computed from reduced
-// representations only: it is the count-th smallest *upper-bound*
-// distance (max-cost reduced EMD) from q to the database. Because the
-// upper bound dominates the exact EMD, at least `count` objects lie
-// within the returned radius. Typical use is result-size-targeted
+// Range(q, eps) return at least `count` live results, computed from
+// reduced representations only: it is the count-th smallest
+// *upper-bound* distance (max-cost reduced EMD) from q to the live
+// database. Because the upper bound dominates the exact EMD, at least
+// `count` live objects lie within the returned radius; soft-deleted
+// items are excluded from the distribution, so deletions can never
+// make the radius under-deliver. Typical use is result-size-targeted
 // range search ("give me roughly fifty matches") without guessing in
 // distance units. Requires a built reduction. Safe for concurrent use;
 // the reduced database vectors and the upper-bound cost matrix come
 // precomputed from the engine snapshot.
 func (e *Engine) EpsilonForCount(q Histogram, count int) (float64, error) {
+	return e.epsilonForCount(context.Background(), q, count)
+}
+
+func (e *Engine) epsilonForCount(ctx context.Context, q Histogram, count int) (float64, error) {
 	if err := e.validateQuery(q); err != nil {
 		return 0, err
 	}
@@ -26,16 +33,23 @@ func (e *Engine) EpsilonForCount(q Histogram, count int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if count < 1 || count > len(s.vectors) {
-		return 0, fmt.Errorf("emdsearch: count %d out of range [1, %d]", count, len(s.vectors))
+	live := len(s.vectors) - len(s.deleted)
+	if count < 1 || count > live {
+		return 0, fmt.Errorf("emdsearch: count %d out of range [1, %d]", count, live)
 	}
 	if s.red == nil {
 		return 0, fmt.Errorf("emdsearch: EpsilonForCount needs a built reduction (set ReducedDims and call Build)")
 	}
 	qr := s.red.Apply(q)
-	uppers := make([]float64, len(s.vectors))
+	uppers := make([]float64, 0, live)
 	for i := range s.vectors {
-		uppers[i] = s.redUpper.DistanceReduced(qr, s.reducedVecs[i])
+		if s.deleted[i] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		uppers = append(uppers, s.redUpper.DistanceReduced(qr, s.reducedVecs[i]))
 	}
 	d, err := stats.NewDistribution(uppers)
 	if err != nil {
@@ -45,11 +59,17 @@ func (e *Engine) EpsilonForCount(q Histogram, count int) (float64, error) {
 }
 
 // DistanceDistribution summarizes the exact EMDs from q to a sample of
-// up to sampleSize database objects (deterministic stride sampling).
-// Useful for choosing range radii and judging workload difficulty; for
-// guaranteed result counts prefer EpsilonForCount, which needs no
-// exact EMDs at all.
+// up to sampleSize live database objects (deterministic stride
+// sampling over the live set; soft-deleted items are never sampled,
+// and the stride adapts so deletions do not shrink the sample below
+// min(sampleSize, live)). Useful for choosing range radii and judging
+// workload difficulty; for guaranteed result counts prefer
+// EpsilonForCount, which needs no exact EMDs at all.
 func (e *Engine) DistanceDistribution(q Histogram, sampleSize int) (*stats.Distribution, error) {
+	return e.distanceDistribution(context.Background(), q, sampleSize)
+}
+
+func (e *Engine) distanceDistribution(ctx context.Context, q Histogram, sampleSize int) (*stats.Distribution, error) {
 	if err := e.validateQuery(q); err != nil {
 		return nil, err
 	}
@@ -60,14 +80,25 @@ func (e *Engine) DistanceDistribution(q Histogram, sampleSize int) (*stats.Distr
 	if err != nil {
 		return nil, err
 	}
-	n := len(s.vectors)
-	stride := n / sampleSize
+	liveIdx := make([]int, 0, len(s.vectors))
+	for i := range s.vectors {
+		if !s.deleted[i] {
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	if len(liveIdx) == 0 {
+		return nil, fmt.Errorf("emdsearch: no live items to sample")
+	}
+	stride := len(liveIdx) / sampleSize
 	if stride < 1 {
 		stride = 1
 	}
 	var dists []float64
-	for i := 0; i < n && len(dists) < sampleSize; i += stride {
-		dists = append(dists, s.dist.Distance(q, s.vectors[i]))
+	for j := 0; j < len(liveIdx) && len(dists) < sampleSize; j += stride {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		dists = append(dists, s.dist.Distance(q, s.vectors[liveIdx[j]]))
 	}
 	return stats.NewDistribution(dists)
 }
@@ -77,13 +108,24 @@ func (e *Engine) DistanceDistribution(q Histogram, sampleSize int) (*stats.Distr
 // needed: items whose greedy-flow upper bound is already within eps
 // are accepted without an exact EMD computation; only items whose
 // [reduced-EMD lower bound, greedy upper bound] interval straddles eps
-// are refined. Returns ascending item ids. Safe for concurrent use.
+// are refined. Refinements go through the same threshold-aware bounded
+// kernel as KNN/Range (eps as the abort bound, warm starts, sparsity
+// reduction) and fan out over Options.Workers goroutines, so the
+// engine's RefinesAborted/WarmStartHits metrics cover this path too.
+// Returns ascending item ids. Safe for concurrent use.
 func (e *Engine) RangeIDs(q Histogram, eps float64) ([]int, error) {
+	return e.rangeIDs(context.Background(), q, eps)
+}
+
+func (e *Engine) rangeIDs(ctx context.Context, q Histogram, eps float64) ([]int, error) {
 	if err := e.validateQuery(q); err != nil {
 		return nil, err
 	}
 	s, err := e.snapshot()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	upper := s.greedyUpper()
@@ -92,19 +134,44 @@ func (e *Engine) RangeIDs(q Histogram, eps float64) ([]int, error) {
 	if s.red != nil {
 		qr := s.red.Apply(q)
 		for i := range s.vectors {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			lowers[i] = s.reduced.DistanceReduced(qr, s.reducedVecs[i])
 		}
 	}
-	ids, _, err := search.RangeIDs(search.NewScanRanking(lowers),
-		func(i int) float64 {
-			return s.refine(q, i)
-		},
+	cancel, stopWatch := search.WatchContext(ctx)
+	defer stopWatch()
+	var refine search.BoundedRefine
+	switch {
+	case e.opts.UnboundedRefine:
+		refine = func(i int, _ float64) search.Refinement {
+			return search.Refinement{Dist: s.refineUnbounded(q, i)}
+		}
+	case cancel != nil:
+		refine = func(i int, abortAbove float64) search.Refinement {
+			return s.refineBoundedIntr(q, i, abortAbove, cancel)
+		}
+	default:
+		refine = func(i int, abortAbove float64) search.Refinement {
+			return s.refineBounded(q, i, abortAbove)
+		}
+	}
+	ids, st, err := search.RangeIDsBounded(search.NewScanRanking(lowers),
+		refine,
 		func(i int) float64 {
 			if s.deleted[i] {
 				return math.Inf(1)
 			}
 			return upper.Distance(q, s.vectors[i])
 		},
-		eps)
-	return ids, err
+		eps, s.searcher.Workers, cancel)
+	if err != nil {
+		return nil, err
+	}
+	e.metrics.observeRangeIDs(st)
+	if st.Cancelled {
+		return ids, ctx.Err()
+	}
+	return ids, nil
 }

@@ -11,6 +11,7 @@ package emd
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"emdsearch/internal/transport"
 	"emdsearch/internal/vecmath"
@@ -220,6 +221,21 @@ type BoundedDistance = transport.BoundedResult
 // behaves exactly like Distance. Operands are trusted, as in Distance.
 func (d *Dist) DistanceBounded(x, y Histogram, abortAbove float64) BoundedDistance {
 	res, err := d.solver.SolveValueBounded(transport.Problem{Supply: x, Demand: y, Cost: d.cost}, abortAbove)
+	if err != nil {
+		panic(fmt.Sprintf("emd: solver failed on trusted input: %v", err))
+	}
+	return res
+}
+
+// DistanceBoundedIntr is DistanceBounded with a cooperative interrupt
+// flag polled inside the simplex pivot loop: once intr is set the
+// solve stops within one pivot's worth of work and the result carries
+// Interrupted=true with Value a certified lower bound on the true EMD
+// (weak duality). This is how a query deadline cuts short even a
+// single large refinement. A nil intr is byte-identical to
+// DistanceBounded. Operands are trusted, as in Distance.
+func (d *Dist) DistanceBoundedIntr(x, y Histogram, abortAbove float64, intr *atomic.Bool) BoundedDistance {
+	res, err := d.solver.SolveValueBoundedIntr(transport.Problem{Supply: x, Demand: y, Cost: d.cost}, abortAbove, intr)
 	if err != nil {
 		panic(fmt.Sprintf("emd: solver failed on trusted input: %v", err))
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,6 +60,11 @@ type QueryStats struct {
 	// Workers is the number of goroutines that served the refinement
 	// stage (1 on the sequential path).
 	Workers int
+	// Cancelled reports that the query stopped early because its
+	// cooperative cancel flag was observed (context cancelled or
+	// deadline expired). The returned results are then a certified
+	// partial answer, not the complete one.
+	Cancelled bool
 	// StageEvaluations counts filter evaluations per pipeline stage;
 	// filled by Searcher, left empty by the bare algorithms. It mirrors
 	// Stages[i].Evaluations and is kept for compact comparisons.
@@ -85,6 +91,12 @@ type Refinement struct {
 	// the certified bound exceeded the threshold it was given, so the
 	// exact distance provably does too.
 	Aborted bool
+	// Interrupted reports that the solve was cut short by a
+	// cooperative cancel flag (query deadline). Dist is then a
+	// certified lower bound on the exact distance — possibly 0 — that
+	// certifies nothing about the threshold; the candidate is
+	// unresolved, not discarded.
+	Interrupted bool
 	// WarmStart reports that the solve re-entered from a cached basis.
 	WarmStart bool
 	// Rows and Cols are the reduced problem shape actually solved.
@@ -142,11 +154,42 @@ func KNN(ranking Ranking, refine func(index int) float64, k int) ([]Result, *Que
 // tie-on-the-k-th-distance semantics (the bounded solver's guard keeps
 // ties from aborting). Only the work counters differ.
 func KNNBounded(ranking Ranking, refine BoundedRefine, k int) ([]Result, *QueryStats, error) {
+	res, _, stats, err := knnBoundedCore(ranking, refine, k, knnConfig{})
+	return res, stats, err
+}
+
+// knnConfig carries the optional hooks of the KNOP cores. The zero
+// value selects the classic behavior; both hooks are checked with nil
+// guards so a zero config costs nothing on the hot path and keeps the
+// classic results byte-identical.
+type knnConfig struct {
+	// cancel, when non-nil, is polled once per candidate (and, through
+	// the interrupt-aware refinement, once per simplex pivot): once set
+	// the query stops early with stats.Cancelled and the unresolved
+	// candidates reported as pending.
+	cancel *atomic.Bool
+	// pred, when non-nil, filters candidates after the threshold check
+	// and before refinement; failing candidates count as Pulled but are
+	// never refined. It runs on the calling goroutine only, so
+	// predicates need not be goroutine-safe even on the parallel path.
+	pred func(index int) bool
+}
+
+func (cfg *knnConfig) cancelled() bool {
+	return cfg.cancel != nil && cfg.cancel.Load()
+}
+
+// knnBoundedCore is the sequential KNOP loop shared by KNNBounded and
+// the context-aware searcher entry points. On cancellation it returns
+// the neighbors confirmed so far plus the pending (pulled but
+// unresolved) candidates with their best certified lower bounds.
+func knnBoundedCore(ranking Ranking, refine BoundedRefine, k int, cfg knnConfig) ([]Result, []PendingCandidate, *QueryStats, error) {
 	if k < 1 {
-		return nil, nil, fmt.Errorf("search: k = %d, want >= 1", k)
+		return nil, nil, nil, fmt.Errorf("search: k = %d, want >= 1", k)
 	}
 	stats := &QueryStats{}
 	neighbors := make([]Result, 0, k+1)
+	var pending []PendingCandidate
 
 	insert := func(r Result) {
 		pos := sort.Search(len(neighbors), func(i int) bool {
@@ -164,6 +207,10 @@ func KNNBounded(ranking Ranking, refine BoundedRefine, k int) ([]Result, *QueryS
 	}
 
 	for {
+		if cfg.cancelled() {
+			stats.Cancelled = true
+			break
+		}
 		c, ok := ranking.Next()
 		if !ok {
 			break
@@ -178,8 +225,19 @@ func KNNBounded(ranking Ranking, refine BoundedRefine, k int) ([]Result, *QueryS
 				break
 			}
 		}
+		if cfg.pred != nil && !cfg.pred(c.Index) {
+			continue
+		}
 		r := refine(c.Index, threshold)
 		stats.observe(r)
+		if r.Interrupted {
+			// The solve was cut short by the cancel flag: the exact
+			// distance is unresolved, only bounded below by the filter
+			// distance and the solver's certified dual bound.
+			stats.Cancelled = true
+			pending = append(pending, PendingCandidate{Index: c.Index, Lower: math.Max(c.Dist, r.Dist)})
+			break
+		}
 		if r.Aborted {
 			continue
 		}
@@ -189,7 +247,7 @@ func KNNBounded(ranking Ranking, refine BoundedRefine, k int) ([]Result, *QueryS
 			insert(Result{Index: c.Index, Dist: d})
 		}
 	}
-	return neighbors, stats, nil
+	return neighbors, pending, stats, nil
 }
 
 // Range returns all items whose exact distance is at most eps,
@@ -204,12 +262,24 @@ func Range(ranking Ranking, refine func(index int) float64, eps float64) ([]Resu
 // abort threshold of every candidate. An aborted candidate's exact
 // distance provably exceeds eps, so results are identical to Range's.
 func RangeBounded(ranking Ranking, refine BoundedRefine, eps float64) ([]Result, *QueryStats, error) {
+	return rangeBoundedCore(ranking, refine, eps, knnConfig{})
+}
+
+// rangeBoundedCore is the sequential range loop shared by RangeBounded
+// and the context-aware entry points. A cancelled range query returns
+// the results confirmed so far — each is individually certified (exact
+// distance <= eps), so a partial set is sound, just not complete.
+func rangeBoundedCore(ranking Ranking, refine BoundedRefine, eps float64, cfg knnConfig) ([]Result, *QueryStats, error) {
 	if eps < 0 {
 		return nil, nil, fmt.Errorf("search: eps = %g, want >= 0", eps)
 	}
 	stats := &QueryStats{}
 	var results []Result
 	for {
+		if cfg.cancelled() {
+			stats.Cancelled = true
+			break
+		}
 		c, ok := ranking.Next()
 		if !ok {
 			break
@@ -218,8 +288,15 @@ func RangeBounded(ranking Ranking, refine BoundedRefine, eps float64) ([]Result,
 		if c.Dist > eps {
 			break
 		}
+		if cfg.pred != nil && !cfg.pred(c.Index) {
+			continue
+		}
 		r := refine(c.Index, eps)
 		stats.observe(r)
+		if r.Interrupted {
+			stats.Cancelled = true
+			break
+		}
 		if !r.Aborted && r.Dist <= eps {
 			results = append(results, Result{Index: c.Index, Dist: r.Dist})
 		}

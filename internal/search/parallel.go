@@ -122,15 +122,41 @@ func (pc *parallelCounters) flush(stats *QueryStats) {
 // exceeds the final k-th distance, so discarding aborted candidates
 // leaves the result set exactly equal to the sequential KNN's.
 func ParallelKNNBounded(ranking Ranking, refine BoundedRefine, k, workers int) ([]Result, *QueryStats, error) {
+	res, _, stats, err := parallelKNNBoundedCore(ranking, refine, k, workers, knnConfig{})
+	return res, stats, err
+}
+
+// pendingSet collects unresolved candidates from multiple workers when
+// a query is cancelled mid-flight.
+type pendingSet struct {
+	mu   sync.Mutex
+	list []PendingCandidate
+}
+
+func (ps *pendingSet) add(p PendingCandidate) {
+	ps.mu.Lock()
+	ps.list = append(ps.list, p)
+	ps.mu.Unlock()
+}
+
+// parallelKNNBoundedCore is the worker-pool KNOP core shared by
+// ParallelKNNBounded and the context-aware searcher entry points. On
+// cancellation the feeder stops pulling and the workers record each
+// remaining dispatched candidate as pending instead of refining it;
+// candidates whose solve was interrupted mid-pivot join the pending
+// set with the solver's certified lower bound.
+func parallelKNNBoundedCore(ranking Ranking, refine BoundedRefine, k, workers int, cfg knnConfig) ([]Result, []PendingCandidate, *QueryStats, error) {
 	if k < 1 {
-		return nil, nil, fmt.Errorf("search: k = %d, want >= 1", k)
+		return nil, nil, nil, fmt.Errorf("search: k = %d, want >= 1", k)
 	}
 	if workers <= 1 {
-		return KNNBounded(ranking, refine, k)
+		return knnBoundedCore(ranking, refine, k, cfg)
 	}
 	threshold := newAtomicThreshold()
 	neighbors := newNeighborSet(k, threshold)
 	var counters parallelCounters
+	var pending pendingSet
+	var cancelled atomic.Bool
 
 	// The buffer is the dispatch chunk: the feeder can run at most
 	// workers + cap(dispatch) candidates ahead of the slowest refiner.
@@ -141,6 +167,11 @@ func ParallelKNNBounded(ranking Ranking, refine BoundedRefine, k, workers int) (
 		go func() {
 			defer wg.Done()
 			for c := range dispatch {
+				if cfg.cancelled() {
+					cancelled.Store(true)
+					pending.add(PendingCandidate{Index: c.Index, Lower: c.Dist})
+					continue
+				}
 				ab := threshold.Load()
 				if c.Dist > ab {
 					atomic.AddInt64(&counters.skipped, 1)
@@ -148,6 +179,11 @@ func ParallelKNNBounded(ranking Ranking, refine BoundedRefine, k, workers int) (
 				}
 				r := refine(c.Index, ab)
 				counters.observe(r)
+				if r.Interrupted {
+					cancelled.Store(true)
+					pending.add(PendingCandidate{Index: c.Index, Lower: math.Max(c.Dist, r.Dist)})
+					continue
+				}
 				if r.Aborted {
 					continue
 				}
@@ -158,6 +194,10 @@ func ParallelKNNBounded(ranking Ranking, refine BoundedRefine, k, workers int) (
 
 	stats := &QueryStats{Workers: workers}
 	for {
+		if cfg.cancelled() {
+			cancelled.Store(true)
+			break
+		}
 		c, ok := ranking.Next()
 		if !ok {
 			break
@@ -169,13 +209,17 @@ func ParallelKNNBounded(ranking Ranking, refine BoundedRefine, k, workers int) (
 			// threshold only tightens.
 			break
 		}
+		if cfg.pred != nil && !cfg.pred(c.Index) {
+			continue
+		}
 		dispatch <- c
 	}
 	close(dispatch)
 	wg.Wait()
 
 	counters.flush(stats)
-	return neighbors.results, stats, nil
+	stats.Cancelled = cancelled.Load()
+	return neighbors.results, pending.list, stats, nil
 }
 
 // ParallelRange is the concurrent form of the range query: candidates
@@ -191,16 +235,23 @@ func ParallelRange(ranking Ranking, refine func(index int) float64, eps float64,
 // refinement; eps is every candidate's abort bound, as in RangeBounded,
 // so results are identical to the sequential Range's.
 func ParallelRangeBounded(ranking Ranking, refine BoundedRefine, eps float64, workers int) ([]Result, *QueryStats, error) {
+	return parallelRangeBoundedCore(ranking, refine, eps, workers, knnConfig{})
+}
+
+// parallelRangeBoundedCore is the worker-pool range core. A cancelled
+// query returns the (individually certified) results confirmed so far.
+func parallelRangeBoundedCore(ranking Ranking, refine BoundedRefine, eps float64, workers int, cfg knnConfig) ([]Result, *QueryStats, error) {
 	if eps < 0 {
 		return nil, nil, fmt.Errorf("search: eps = %g, want >= 0", eps)
 	}
 	if workers <= 1 {
-		return RangeBounded(ranking, refine, eps)
+		return rangeBoundedCore(ranking, refine, eps, cfg)
 	}
 	var (
-		mu       sync.Mutex
-		results  []Result
-		counters parallelCounters
+		mu        sync.Mutex
+		results   []Result
+		counters  parallelCounters
+		cancelled atomic.Bool
 	)
 	dispatch := make(chan Candidate, workers)
 	var wg sync.WaitGroup
@@ -209,8 +260,16 @@ func ParallelRangeBounded(ranking Ranking, refine BoundedRefine, eps float64, wo
 		go func() {
 			defer wg.Done()
 			for c := range dispatch {
+				if cfg.cancelled() {
+					cancelled.Store(true)
+					continue
+				}
 				r := refine(c.Index, eps)
 				counters.observe(r)
+				if r.Interrupted {
+					cancelled.Store(true)
+					continue
+				}
 				if !r.Aborted && r.Dist <= eps {
 					mu.Lock()
 					results = append(results, Result{Index: c.Index, Dist: r.Dist})
@@ -222,6 +281,10 @@ func ParallelRangeBounded(ranking Ranking, refine BoundedRefine, eps float64, wo
 
 	stats := &QueryStats{Workers: workers}
 	for {
+		if cfg.cancelled() {
+			cancelled.Store(true)
+			break
+		}
 		c, ok := ranking.Next()
 		if !ok {
 			break
@@ -230,12 +293,16 @@ func ParallelRangeBounded(ranking Ranking, refine BoundedRefine, eps float64, wo
 		if c.Dist > eps {
 			break
 		}
+		if cfg.pred != nil && !cfg.pred(c.Index) {
+			continue
+		}
 		dispatch <- c
 	}
 	close(dispatch)
 	wg.Wait()
 
 	counters.flush(stats)
+	stats.Cancelled = cancelled.Load()
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Dist != results[j].Dist {
 			return results[i].Dist < results[j].Dist

@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"emdsearch/internal/emd"
@@ -62,6 +63,13 @@ type Searcher struct {
 	// invocation when Workers > 1. At least one of Refine and
 	// RefineBounded must be set.
 	RefineBounded func(q emd.Histogram, index int, abortAbove float64) Refinement
+	// RefineBoundedIntr, when set, is the interrupt-aware form of
+	// RefineBounded used by the context-aware entry points (KNNCtx,
+	// RangeCtx): intr is the query's cancel flag, polled inside the
+	// simplex pivot loop so a deadline stops even a single large solve.
+	// An interrupted refinement returns Interrupted=true with Dist a
+	// certified lower bound. Never called with a nil intr.
+	RefineBoundedIntr func(q emd.Histogram, index int, abortAbove float64, intr *atomic.Bool) Refinement
 	// Workers bounds the goroutines used for the exact refinement
 	// stage of a single query; values <= 1 select the sequential KNOP
 	// path. The filter chain itself always runs on the calling

@@ -1,6 +1,9 @@
 package transport
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // boundGuard is the relative safety margin subtracted from the
 // certified dual bound before it is compared against abortAbove: the
@@ -25,11 +28,19 @@ const polishTol = 1e-26
 // BoundedResult is the outcome of a threshold-aware solve.
 type BoundedResult struct {
 	// Value is the exact optimal objective when the solve ran to
-	// optimality, or a certified lower bound on it when Aborted.
+	// optimality, or a certified lower bound on it when Aborted or
+	// Interrupted (possibly 0, the trivial bound, when the interrupt
+	// landed before any duals existed).
 	Value float64
 	// Aborted reports that the solve stopped early because the
 	// certified lower bound exceeded the caller's threshold.
 	Aborted bool
+	// Interrupted reports that the solve was cancelled cooperatively
+	// (the caller's interrupt flag was observed inside the pivot loop).
+	// Value is then still a certified lower bound on the optimum by
+	// weak duality — just not one that certifies anything about the
+	// caller's threshold.
+	Interrupted bool
 	// WarmStart reports that the solve re-entered the simplex from the
 	// cached basis of a previous optimal solve.
 	WarmStart bool
@@ -42,7 +53,14 @@ type BoundedResult struct {
 // warm start from the cached previous basis, early abandon against
 // abortAbove, and — on optimal completion — the canonical
 // double-double objective. Inputs are trusted (not validated).
-func (st *simplexState) solveBounded(p Problem, abortAbove float64) (BoundedResult, error) {
+//
+// intr, when non-nil, is a cooperative cancellation flag polled at
+// solve entry and once per pivot iteration: setting it makes the solve
+// return within one pivot's worth of work, carrying Interrupted=true
+// and a certified (possibly trivial) lower bound on the optimum as
+// Value. An interrupted solve never touches the warm caches, so later
+// solves on the same pooled state stay correct.
+func (st *simplexState) solveBounded(p Problem, abortAbove float64, intr *atomic.Bool) (BoundedResult, error) {
 	supply, demand := st.reduceProblem(p)
 	res := BoundedResult{Rows: st.m, Cols: st.n}
 	if st.m == 0 || st.n == 0 {
@@ -50,6 +68,12 @@ func (st *simplexState) solveBounded(p Problem, abortAbove float64) (BoundedResu
 		return res, nil
 	}
 	st.computeScale()
+	if intr != nil && intr.Load() {
+		// Cancelled before any work: 0 is the trivial certified bound
+		// (costs are non-negative).
+		res.Interrupted = true
+		return res, nil
+	}
 	if !math.IsInf(abortAbove, 1) && st.warmV != nil {
 		// Pre-simplex abort: price the candidate with the cached duals
 		// of the last optimal solve. In refinement workloads the supply
@@ -67,12 +91,17 @@ func (st *simplexState) solveBounded(p Problem, abortAbove float64) (BoundedResu
 		st.initVogel(supply, demand)
 		st.patchBasis()
 	}
-	_, aborted, bound, err := st.pivotLoop(supply, demand, abortAbove)
+	_, stop, bound, err := st.pivotLoop(supply, demand, abortAbove, intr)
 	if err != nil {
 		return res, err
 	}
-	if aborted {
+	switch stop {
+	case stopAborted:
 		res.Aborted = true
+		res.Value = bound
+		return res, nil
+	case stopInterrupted:
+		res.Interrupted = true
 		res.Value = bound
 		return res, nil
 	}

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Initializer selects the rule used to construct the initial basic
@@ -241,9 +242,18 @@ func (st *simplexState) run(p Problem, init Initializer) (int, error) {
 		return 0, fmt.Errorf("transport: unknown initializer %d", init)
 	}
 	st.patchBasis()
-	iter, _, _, err := st.pivotLoop(p.Supply, p.Demand, math.Inf(1))
+	iter, _, _, err := st.pivotLoop(p.Supply, p.Demand, math.Inf(1), nil)
 	return iter, err
 }
+
+// stopCause says why pivotLoop returned before the iteration budget.
+type stopCause int
+
+const (
+	stopOptimal stopCause = iota
+	stopAborted
+	stopInterrupted
+)
 
 // pivotLoop pivots until optimality, the iteration budget, or — when
 // abortAbove is finite — until a certified dual lower bound on the
@@ -254,7 +264,14 @@ func (st *simplexState) run(p Problem, init Initializer) (int, error) {
 // caller may discard the candidate without finishing the solve. The
 // bound is reported minus a small guard so that float error in the
 // repair can never certify past a true optimum that ties abortAbove.
-func (st *simplexState) pivotLoop(supply, demand []float64, abortAbove float64) (iter int, aborted bool, bound float64, err error) {
+//
+// intr, when non-nil, is polled once per iteration: an observed
+// interrupt stops the loop within one pivot's worth of work (O(m·n))
+// and returns stopInterrupted with the same feasibility-repaired dual
+// bound as a certified lower bound on the optimum — this is what makes
+// a query deadline take effect inside a single large solve instead of
+// only between solves.
+func (st *simplexState) pivotLoop(supply, demand []float64, abortAbove float64, intr *atomic.Bool) (iter int, stop stopCause, bound float64, err error) {
 	// The budget is generous: well-behaved instances pivot O(m+n) times.
 	maxIter := 200 * (st.m + st.n + 10)
 	tol := 1e-10 * st.scale
@@ -262,18 +279,25 @@ func (st *simplexState) pivotLoop(supply, demand []float64, abortAbove float64) 
 	bounded := !math.IsInf(abortAbove, 1)
 	for iter = 0; iter < maxIter; iter++ {
 		st.computeDuals()
+		if intr != nil && intr.Load() {
+			b := st.feasibleDualBound(supply, demand) - guard
+			if b < 0 {
+				b = 0
+			}
+			return iter, stopInterrupted, b, nil
+		}
 		if bounded {
 			if b := st.feasibleDualBound(supply, demand) - guard; b > abortAbove {
-				return iter, true, b, nil
+				return iter, stopAborted, b, nil
 			}
 		}
 		ei, ej, ok := st.entering(tol)
 		if !ok {
-			return iter, false, 0, nil
+			return iter, stopOptimal, 0, nil
 		}
 		st.pivot(ei, ej)
 	}
-	return maxIter, false, 0, fmt.Errorf("transport: simplex on %dx%d problem: %w", st.m, st.n, ErrIterationLimit)
+	return maxIter, stopOptimal, 0, fmt.Errorf("transport: simplex on %dx%d problem: %w", st.m, st.n, ErrIterationLimit)
 }
 
 func newMatrix(rows, cols int) [][]float64 {

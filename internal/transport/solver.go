@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Solver is a reusable exact solver for transportation problems of one
@@ -94,12 +95,25 @@ func (s *Solver) SolveValue(p Problem) (float64, error) {
 // NewSolver time by the usual constructors. When the solve completes,
 // Value is bit-identical to SolveValue's for the same problem.
 func (s *Solver) SolveValueBounded(p Problem, abortAbove float64) (BoundedResult, error) {
+	return s.SolveValueBoundedIntr(p, abortAbove, nil)
+}
+
+// SolveValueBoundedIntr is SolveValueBounded with a cooperative
+// interrupt: when intr is non-nil it is polled once per pivot
+// iteration, and an observed interrupt stops the solve within one
+// pivot's worth of work. The result then carries Interrupted=true and
+// Value is a certified lower bound on the optimum by weak duality
+// (possibly 0 when the interrupt was observed before any pivoting).
+// Interrupted solves never update the pooled warm-start caches, so
+// later solves are unaffected. A nil intr is byte-identical to
+// SolveValueBounded.
+func (s *Solver) SolveValueBoundedIntr(p Problem, abortAbove float64, intr *atomic.Bool) (BoundedResult, error) {
 	if len(p.Supply) != s.m || len(p.Demand) != s.n {
 		return BoundedResult{}, fmt.Errorf("transport: solver is %dx%d, problem is %dx%d",
 			s.m, s.n, len(p.Supply), len(p.Demand))
 	}
 	st := s.pool.Get().(*simplexState)
-	res, err := st.solveBounded(p, abortAbove)
+	res, err := st.solveBounded(p, abortAbove, intr)
 	s.pool.Put(st)
 	if err != nil {
 		if errors.Is(err, ErrIterationLimit) {

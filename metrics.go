@@ -3,6 +3,8 @@ package emdsearch
 import (
 	"sync"
 	"time"
+
+	"emdsearch/internal/search"
 )
 
 // StageMetrics aggregates one named filter stage's work across all
@@ -36,6 +38,14 @@ type Metrics struct {
 	// QueryErrors counts queries rejected with an error (invalid
 	// query, empty engine, ...).
 	QueryErrors int64 `json:"query_errors"`
+	// QueriesCancelled counts queries that observed their context's
+	// cancellation (deadline expiry or explicit cancel), whether at
+	// entry or mid-flight. Always 0 for the context-free API.
+	QueriesCancelled int64 `json:"queries_cancelled"`
+	// QueriesDeadlineDegraded counts k-NN queries that returned a
+	// certified anytime (degraded but sound) answer instead of the
+	// complete one because their deadline expired first.
+	QueriesDeadlineDegraded int64 `json:"queries_deadline_degraded"`
 	// SnapshotBuilds counts how often the query pipeline was
 	// (re)assembled — once after each batch of mutations, not per
 	// query. A high rate signals interleaving mutations with queries.
@@ -97,6 +107,9 @@ func (em *engineMetrics) observe(kind metricKind, stats *QueryStats) {
 	if stats == nil {
 		return
 	}
+	if stats.Cancelled {
+		em.m.QueriesCancelled++
+	}
 	em.m.Pulled += int64(stats.Pulled)
 	em.m.Refinements += int64(stats.Refinements)
 	em.m.RefinementsSkipped += int64(stats.RefinementsSkipped)
@@ -125,6 +138,32 @@ func (em *engineMetrics) rankStarted() {
 	em.mu.Lock()
 	em.m.RankQueries++
 	em.mu.Unlock()
+}
+
+func (em *engineMetrics) queryDegraded() {
+	em.mu.Lock()
+	em.m.QueriesDeadlineDegraded++
+	em.mu.Unlock()
+}
+
+// observeRangeIDs folds a membership-query's counters into the
+// aggregate (counted as a range query).
+func (em *engineMetrics) observeRangeIDs(st *search.RangeIDsStats) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.m.RangeQueries++
+	if st == nil {
+		return
+	}
+	if st.Cancelled {
+		em.m.QueriesCancelled++
+	}
+	em.m.Pulled += int64(st.Pulled)
+	em.m.Refinements += int64(st.Refinements)
+	em.m.RefinesAborted += int64(st.RefinesAborted)
+	em.m.WarmStartHits += int64(st.WarmStartHits)
+	em.m.RefineRows += st.RefineRows
+	em.m.RefineCols += st.RefineCols
 }
 
 func (em *engineMetrics) queryError() {

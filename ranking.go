@@ -1,6 +1,7 @@
 package emdsearch
 
 import (
+	"context"
 	"math"
 
 	"emdsearch/internal/search"
@@ -20,12 +21,21 @@ import (
 // snapshot, so this is cheap).
 type Ranking struct {
 	inner search.Ranking
+	// ctx, when set by RankCtx, stops the stream early: once it is
+	// cancelled Next reports exhaustion before refining anything
+	// further. Checked before each pull, never mid-solve, so every
+	// yielded distance is exact.
+	ctx context.Context
 }
 
 // Next returns the next closest item and its exact EMD, or ok = false
-// when the database is exhausted.
+// when the database is exhausted (or, for a RankCtx stream, when the
+// context has been cancelled).
 func (r *Ranking) Next() (index int, dist float64, ok bool) {
 	for {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			return 0, 0, false
+		}
 		c, ok := r.inner.Next()
 		if !ok {
 			return 0, 0, false

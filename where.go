@@ -1,60 +1,37 @@
 package emdsearch
 
 import (
-	"fmt"
-	"math"
-
-	"emdsearch/internal/search"
+	"context"
 )
 
 // KNNWhere answers a k-NN query restricted to items satisfying pred
 // (e.g. a label or metadata constraint — faceted similarity search).
-// Items failing the predicate are treated as infinitely far: the
-// filter chain still orders candidates, but only matching items are
-// refined and returned, so the query stays exact over the restricted
-// set. pred must be deterministic for the duration of the call. Safe
-// for concurrent use (the predicate is invoked from the calling
-// goroutine only).
+// The filter chain still orders all candidates, but items failing the
+// predicate are skipped before refinement, so the query stays exact
+// over the restricted set while spending exact-EMD work only on
+// matching items. Refinements go through the same threshold-aware
+// bounded kernel as KNN (with Options.Workers parallelism), so the
+// RefinesAborted/WarmStartHits metrics cover this path too. pred must
+// be deterministic for the duration of the call. Safe for concurrent
+// use (the predicate is invoked from the calling goroutine only,
+// never from refinement workers).
 func (e *Engine) KNNWhere(q Histogram, k int, pred func(index int) bool) ([]Result, *QueryStats, error) {
-	if pred == nil {
-		return nil, nil, fmt.Errorf("emdsearch: nil predicate")
-	}
-	if err := e.validateQuery(q); err != nil {
-		e.metrics.queryError()
-		return nil, nil, err
-	}
-	s, err := e.snapshot()
+	ans, err := e.KNNWhereCtx(context.Background(), q, k, pred)
 	if err != nil {
-		e.metrics.queryError()
 		return nil, nil, err
 	}
-	ranking, err := s.searcher.Ranking(q)
-	if err != nil {
-		e.metrics.queryError()
-		return nil, nil, err
-	}
-	results, stats, err := search.KNN(ranking, func(i int) float64 {
-		if s.deleted[i] || !pred(i) {
-			return math.Inf(1)
-		}
-		return s.dist.Distance(q, s.vectors[i])
-	}, k)
-	if err != nil {
-		e.metrics.queryError()
-		return nil, nil, err
-	}
-	live := results[:0]
-	for _, r := range results {
-		if !math.IsInf(r.Dist, 1) {
-			live = append(live, r)
-		}
-	}
-	e.metrics.observe(metricKNN, stats)
-	return live, stats, nil
+	return ans.Results, ans.Stats, nil
 }
 
 // KNNWithLabel is KNNWhere restricted to items carrying the given
-// label.
+// label. The labels are read lock-free from the query's snapshot —
+// captured when the pipeline was built — so the predicate sees state
+// consistent with the ranking even while concurrent Add/Build calls
+// mutate the engine, and the hot loop takes no locks.
 func (e *Engine) KNNWithLabel(q Histogram, k int, label string) ([]Result, *QueryStats, error) {
-	return e.KNNWhere(q, k, func(i int) bool { return e.Label(i) == label })
+	ans, err := e.KNNWithLabelCtx(context.Background(), q, k, label)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ans.Results, ans.Stats, nil
 }
