@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine] [-scale full|medium|quick] [-csv] [-seed N] [-dprime D]
-//	         [-workers N] [-concurrency N] [-timeout D] [-out FILE]
+//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine|persist] [-scale full|medium|quick] [-csv] [-seed N]
+//	         [-dprime D] [-workers N] [-concurrency N] [-timeout D] [-wal FILE] [-out FILE]
 //
 // The full scale approximates the paper's corpus sizes and can take
 // tens of minutes for the complete suite; quick finishes in a couple
@@ -25,6 +25,16 @@
 // against the legacy unbounded one on an identical k-NN workload,
 // verifies the answers are bit-identical, and (with -out) writes a
 // JSON report with the speedup and refinement counters.
+//
+// -exp persist benchmarks the durability layer: atomic snapshot
+// save/load, fsynced write-ahead-log append throughput, checkpoint
+// latency and crash recovery (snapshot load + log replay), verifying
+// the recovered engine against the live one. With -out it writes a
+// JSON report.
+//
+// -wal gives the serve benchmark a write-ahead log: the background
+// writer's Adds then pay a durable (fsynced) log append each, the way
+// a crash-safe ingest would.
 package main
 
 import (
@@ -47,9 +57,29 @@ func main() {
 		workers   = flag.Int("workers", 1, "serve mode: refinement workers per query (negative = GOMAXPROCS)")
 		conc      = flag.Int("concurrency", 4, "serve mode: concurrent query clients")
 		timeout   = flag.Duration("timeout", 0, "serve mode: per-query deadline, e.g. 500us or 2ms (0 = no deadline)")
-		outFlag   = flag.String("out", "", "refine mode: write the JSON report to this path")
+		walFlag   = flag.String("wal", "", "serve mode: write-ahead-log path; background ingest pays a fsynced append per Add")
+		outFlag   = flag.String("out", "", "refine/persist mode: write the JSON report to this path")
 	)
 	flag.Parse()
+
+	if *expFlag == "persist" {
+		pc := persistConfig{n: 300, d: 32, seed: *seedFlag, out: *outFlag}
+		switch *scaleFlag {
+		case "full":
+			pc.n, pc.d = 2000, 96
+		case "medium":
+			pc.n, pc.d = 800, 64
+		case "quick":
+		default:
+			fmt.Fprintf(os.Stderr, "emdbench: unknown scale %q (want full, medium or quick)\n", *scaleFlag)
+			os.Exit(2)
+		}
+		if err := runPersist(pc); err != nil {
+			fmt.Fprintf(os.Stderr, "emdbench: persist: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *expFlag == "refine" {
 		rc := refineConfig{n: 300, d: 32, queries: 200, k: 10, seed: *seedFlag, out: *outFlag}
@@ -75,7 +105,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "emdbench: -concurrency must be at least 1 (got %d)\n", *conc)
 			os.Exit(2)
 		}
-		sc := serveConfig{n: 300, d: 32, queries: 200, workers: *workers, concurrency: *conc, seed: *seedFlag, timeout: *timeout}
+		sc := serveConfig{n: 300, d: 32, queries: 200, workers: *workers, concurrency: *conc, seed: *seedFlag, timeout: *timeout, wal: *walFlag}
 		switch *scaleFlag {
 		case "full":
 			sc.n, sc.d, sc.queries = 2000, 96, 1000

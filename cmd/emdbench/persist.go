@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"emdsearch"
+	"emdsearch/internal/data"
+)
+
+// persistConfig sizes the durability benchmark.
+type persistConfig struct {
+	n, d int
+	seed int64
+	out  string // JSON report path ("" = stdout only)
+}
+
+// persistReport is the machine-readable result of -exp persist,
+// written to -out as JSON (the CI benchmark smoke job archives it as
+// BENCH_persist.json).
+type persistReport struct {
+	N    int   `json:"n"`
+	D    int   `json:"d"`
+	Seed int64 `json:"seed"`
+
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	SaveNS        int64 `json:"save_ns"`
+	LoadNS        int64 `json:"load_ns"`
+
+	WALAppends    int     `json:"wal_appends"`
+	WALBytes      int64   `json:"wal_bytes"`
+	WALAppendNS   int64   `json:"wal_append_ns"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+
+	CheckpointNS   int64 `json:"checkpoint_ns"`
+	RecoverNS      int64 `json:"recover_ns"`
+	RecoverRecords int   `json:"recover_records"`
+}
+
+// runPersist benchmarks the durability layer end to end: atomic
+// snapshot save and load, fsynced WAL append throughput (the cost a
+// logged Add pays over an in-memory one), checkpoint latency, and
+// recovery (snapshot load + WAL replay) after a simulated crash. The
+// recovered engine is verified against the live one before any number
+// is reported.
+func runPersist(cfg persistConfig) error {
+	ds, err := data.MusicSpectra(cfg.n, cfg.d, cfg.seed)
+	if err != nil {
+		return err
+	}
+	vecs := ds.Histograms()
+	dprime := cfg.d / 4
+	if dprime < 2 {
+		dprime = 2
+	}
+	dir, err := os.MkdirTemp("", "emdbench-persist-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "engine.snap")
+	walPath := filepath.Join(dir, "engine.wal")
+
+	opts := emdsearch.Options{ReducedDims: dprime, SampleSize: 24, Seed: cfg.seed}
+	eng, err := emdsearch.NewEngine(ds.Cost, opts)
+	if err != nil {
+		return err
+	}
+	for i, h := range vecs {
+		if _, err := eng.Add(ds.Items[i].Label, h); err != nil {
+			return err
+		}
+	}
+	if err := eng.Build(); err != nil {
+		return err
+	}
+
+	rep := persistReport{N: len(vecs), D: cfg.d, Seed: cfg.seed}
+
+	t0 := time.Now()
+	if err := eng.SaveFile(snapPath); err != nil {
+		return err
+	}
+	rep.SaveNS = int64(time.Since(t0))
+	if st, err := os.Stat(snapPath); err == nil {
+		rep.SnapshotBytes = st.Size()
+	}
+
+	t0 = time.Now()
+	loaded, err := emdsearch.LoadEngineFile(snapPath, ds.Cost, opts)
+	if err != nil {
+		return err
+	}
+	rep.LoadNS = int64(time.Since(t0))
+	if loaded.Len() != eng.Len() {
+		return fmt.Errorf("loaded %d items, saved %d", loaded.Len(), eng.Len())
+	}
+
+	// WAL append throughput: every Add below pays a fsynced log write
+	// before it is acknowledged.
+	if err := eng.OpenWAL(walPath); err != nil {
+		return err
+	}
+	t0 = time.Now()
+	for i, h := range vecs {
+		if _, err := eng.Add(ds.Items[i].Label, h); err != nil {
+			return err
+		}
+		if i%7 == 6 {
+			if err := eng.Delete(eng.Len() - 1); err != nil {
+				return err
+			}
+		}
+	}
+	rep.WALAppendNS = int64(time.Since(t0))
+	rep.WALAppends = int(eng.Metrics().WALAppends)
+	rep.AppendsPerSec = float64(rep.WALAppends) / time.Duration(rep.WALAppendNS).Seconds()
+	if st, err := os.Stat(walPath); err == nil {
+		rep.WALBytes = st.Size()
+	}
+
+	t0 = time.Now()
+	if err := eng.Checkpoint(snapPath); err != nil {
+		return err
+	}
+	rep.CheckpointNS = int64(time.Since(t0))
+
+	// Post-checkpoint mutations, then crash-and-recover: the log tail
+	// replays over the checkpoint snapshot.
+	for i := 0; i < len(vecs)/4; i++ {
+		if _, err := eng.Add("post", vecs[i]); err != nil {
+			return err
+		}
+	}
+	if err := eng.CloseWAL(); err != nil {
+		return err
+	}
+	t0 = time.Now()
+	rec, stats, err := emdsearch.RecoverEngine(snapPath, walPath, ds.Cost, opts)
+	if err != nil {
+		return err
+	}
+	rep.RecoverNS = int64(time.Since(t0))
+	rep.RecoverRecords = stats.WALRecords
+	if rec.Len() != eng.Len() || rec.Alive() != eng.Alive() {
+		return fmt.Errorf("recovered %d items (%d alive), want %d (%d alive)",
+			rec.Len(), rec.Alive(), eng.Len(), eng.Alive())
+	}
+
+	fmt.Printf("persist: n=%d d=%d d'=%d\n", rep.N, cfg.d, dprime)
+	fmt.Printf("snapshot: save=%v load=%v size=%dB\n",
+		time.Duration(rep.SaveNS).Round(time.Microsecond),
+		time.Duration(rep.LoadNS).Round(time.Microsecond), rep.SnapshotBytes)
+	fmt.Printf("wal: %d fsynced appends in %v (%.0f appends/s, %dB)\n",
+		rep.WALAppends, time.Duration(rep.WALAppendNS).Round(time.Millisecond),
+		rep.AppendsPerSec, rep.WALBytes)
+	fmt.Printf("checkpoint: %v\n", time.Duration(rep.CheckpointNS).Round(time.Microsecond))
+	fmt.Printf("recover: %v (%d records replayed over the snapshot)\n",
+		time.Duration(rep.RecoverNS).Round(time.Microsecond), rep.RecoverRecords)
+
+	if cfg.out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", cfg.out)
+	}
+	return nil
+}

@@ -22,6 +22,9 @@ type serveConfig struct {
 	// queries that miss it return certified anytime answers and are
 	// counted as degraded. Zero keeps the context-free KNN path.
 	timeout time.Duration
+	// wal, when non-empty, attaches a write-ahead log at that path, so
+	// the background writer's Adds each pay a durable fsynced append.
+	wal string
 }
 
 // runServe benchmarks the engine as a concurrent query server: it
@@ -61,6 +64,16 @@ func runServe(cfg serveConfig) error {
 	}
 	if err := eng.Build(); err != nil {
 		return err
+	}
+	if cfg.wal != "" {
+		if err := eng.OpenWAL(cfg.wal); err != nil {
+			return err
+		}
+		defer func() {
+			if err := eng.CloseWAL(); err != nil {
+				fmt.Printf("serve: close WAL: %v\n", err)
+			}
+		}()
 	}
 
 	if cfg.timeout > 0 {
@@ -162,6 +175,9 @@ func runServe(cfg serveConfig) error {
 	fmt.Printf("metrics: knn=%d errors=%d cancelled=%d degraded=%d snapshot_builds=%d pulled=%d refinements=%d skipped=%d\n",
 		m.KNNQueries, m.QueryErrors, m.QueriesCancelled, m.QueriesDeadlineDegraded,
 		m.SnapshotBuilds, m.Pulled, m.Refinements, m.RefinementsSkipped)
+	if cfg.wal != "" {
+		fmt.Printf("         wal_appends=%d (durable ingest at %s)\n", m.WALAppends, cfg.wal)
+	}
 	fmt.Printf("         filter=%v refine=%v query=%v\n",
 		m.FilterTime.Round(time.Millisecond), m.RefineTime.Round(time.Millisecond), m.QueryTime.Round(time.Millisecond))
 	for name, st := range m.Stages {

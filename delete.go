@@ -1,6 +1,10 @@
 package emdsearch
 
-import "fmt"
+import (
+	"fmt"
+
+	"emdsearch/internal/persist"
+)
 
 // Delete removes item i from query results. The deletion is "soft":
 // the item keeps its index (ids of other items are stable) and its
@@ -10,6 +14,12 @@ import "fmt"
 // rebuilding the engine from the surviving items. Safe for concurrent
 // use; queries already in flight keep answering over the snapshot
 // they started with and may still return the item.
+//
+// With an open write-ahead log (OpenWAL), the deletion is appended to
+// the log and fsynced before the in-memory state changes, so an
+// acknowledged Delete survives a crash. Deletions are also persisted
+// by Save/SaveFile/Checkpoint, so they never resurrect across a
+// save/load round-trip.
 func (e *Engine) Delete(i int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -21,6 +31,12 @@ func (e *Engine) Delete(i int) error {
 	}
 	if e.deleted[i] {
 		return fmt.Errorf("emdsearch: item %d already deleted", i)
+	}
+	if e.wal != nil {
+		if err := e.wal.Append(persist.WALRecord{Op: persist.WALDelete, ID: i}); err != nil {
+			return fmt.Errorf("emdsearch: delete: %w", err)
+		}
+		e.metrics.walAppended()
 	}
 	e.deleted[i] = true
 	e.snap = nil

@@ -3,7 +3,6 @@ package emdsearch
 import (
 	"context"
 	"fmt"
-	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -18,6 +17,7 @@ import (
 	"emdsearch/internal/flowred"
 	"emdsearch/internal/kdtree"
 	"emdsearch/internal/lb"
+	"emdsearch/internal/persist"
 	"emdsearch/internal/search"
 	"emdsearch/internal/vecmath"
 )
@@ -143,6 +143,7 @@ type Engine struct {
 	cascade []*core.Reduction // nested hierarchy levels, finest first (nil without Hierarchy)
 	deleted map[int]bool      // soft-deleted item ids
 	snap    *snapshot         // current immutable query pipeline, nil after mutations
+	wal     *persist.WAL      // open write-ahead log, nil when not logging
 
 	metrics engineMetrics
 }
@@ -287,9 +288,24 @@ func NewEngine(cost CostMatrix, opts Options) (*Engine, error) {
 // itself is kept — re-run Build to re-derive it from the grown data).
 // Queries already in flight keep answering over the snapshot they
 // started with.
+//
+// With an open write-ahead log (OpenWAL), the mutation is validated
+// first, then appended to the log and fsynced, and only then applied
+// in memory: an Add that returns nil survives a crash, and an Add that
+// fails left no trace in either place.
 func (e *Engine) Add(label string, h Histogram) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.wal != nil {
+		if err := e.store.Check(h); err != nil {
+			return 0, err
+		}
+		rec := persist.WALRecord{Op: persist.WALAdd, ID: e.store.Len(), Label: label, Vector: h}
+		if err := e.wal.Append(rec); err != nil {
+			return 0, fmt.Errorf("emdsearch: add: %w", err)
+		}
+		e.metrics.walAppended()
+	}
 	id, err := e.store.Add(label, h)
 	if err != nil {
 		return 0, err
@@ -307,6 +323,18 @@ func (e *Engine) Len() int {
 
 // Dim returns the histogram dimensionality.
 func (e *Engine) Dim() int { return e.store.Dim() }
+
+// Cost returns a copy of the engine's ground-distance matrix. It is
+// what LoadEngine and RecoverEngine need to be handed to reopen this
+// engine's persisted state (snapshots carry only a fingerprint of the
+// matrix, not the matrix itself).
+func (e *Engine) Cost() CostMatrix {
+	out := make(CostMatrix, len(e.cost))
+	for i, row := range e.cost {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
 
 // Label returns the label of item i.
 func (e *Engine) Label(i int) string {
@@ -727,48 +755,6 @@ func (e *Engine) Distance(q Histogram, i int) (float64, error) {
 	v := e.store.Vector(i)
 	e.mu.RUnlock()
 	return e.dist.Distance(q, v), nil
-}
-
-// Save persists the engine's data and reduction to w.
-func (e *Engine) Save(w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.red != nil {
-		if _, ok := e.store.Reduction("engine"); !ok {
-			if err := e.store.Precompute("engine", e.red); err != nil {
-				return err
-			}
-		}
-	}
-	return e.store.Save(w)
-}
-
-// LoadEngine restores an engine saved with Save; cost and opts must
-// match the saved engine's configuration (they are not serialized).
-// Only the finest reduction is persisted: an engine configured with a
-// Hierarchy answers queries exactly after loading but runs the
-// single-level filter until Build is called again to re-derive the
-// cascade.
-func LoadEngine(r io.Reader, cost CostMatrix, opts Options) (*Engine, error) {
-	e, err := NewEngine(cost, opts)
-	if err != nil {
-		return nil, err
-	}
-	store, err := db.Load(r)
-	if err != nil {
-		return nil, err
-	}
-	if store.Dim() != e.Dim() {
-		return nil, fmt.Errorf("emdsearch: saved data has %d dimensions, cost matrix has %d", store.Dim(), e.Dim())
-	}
-	e.store = store
-	if red, ok := store.Reduction("engine"); ok {
-		if red.ReducedDims() != e.opts.ReducedDims && e.opts.ReducedDims != 0 {
-			return nil, fmt.Errorf("emdsearch: saved reduction has d'=%d, options request %d", red.ReducedDims(), e.opts.ReducedDims)
-		}
-		e.red = red
-	}
-	return e, nil
 }
 
 // centroidRanking adapts an incremental k-d tree stream over database

@@ -14,6 +14,7 @@ import (
 
 	"emdsearch/internal/core"
 	"emdsearch/internal/emd"
+	"emdsearch/internal/persist"
 )
 
 // Item is one database object: a feature histogram plus an optional
@@ -45,14 +46,22 @@ func New(dim int) (*Database, error) {
 	}, nil
 }
 
+// Check validates a histogram against the database's dimensionality
+// and the EMD operand requirements without inserting it. It is the
+// exact admission test Add applies, exposed so that a caller can
+// verify an item before committing it to a write-ahead log.
+func (d *Database) Check(h emd.Histogram) error {
+	if len(h) != d.dim {
+		return fmt.Errorf("db: histogram has %d dimensions, database stores %d", len(h), d.dim)
+	}
+	return emd.Validate(h)
+}
+
 // Add validates and appends a histogram, returning its index. Adding
 // invalidates no existing reduced vectors: the new item is reduced
 // under every registered reduction immediately.
 func (d *Database) Add(label string, h emd.Histogram) (int, error) {
-	if len(h) != d.dim {
-		return 0, fmt.Errorf("db: histogram has %d dimensions, database stores %d", len(h), d.dim)
-	}
-	if err := emd.Validate(h); err != nil {
+	if err := d.Check(h); err != nil {
 		return 0, err
 	}
 	id := len(d.items)
@@ -115,6 +124,17 @@ func (d *Database) Reduction(name string) (*core.Reduction, bool) {
 	return r, ok
 }
 
+// Reductions returns the registered reductions by name. The map is a
+// copy; the *core.Reduction values are the stored ones and must be
+// treated as read-only.
+func (d *Database) Reductions() map[string]*core.Reduction {
+	out := make(map[string]*core.Reduction, len(d.reds))
+	for name, r := range d.reds {
+		out[name] = r
+	}
+	return out
+}
+
 // snapshot is the gob wire format.
 type snapshot struct {
 	Dim        int
@@ -144,28 +164,33 @@ func (d *Database) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a database written by Save.
+// Load reads a database written by Save. Undecodable bytes and decoded
+// data that fails validation (dimensionality, histogram mass, reduction
+// shape) are both reported as persist.ErrCorrupt: a tampered or
+// bit-flipped file must never surface as a raw gob error, and — more
+// importantly — never load silently-invalid histograms into query paths
+// that assume validated data.
 func Load(r io.Reader) (*Database, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("db: load: %w", err)
+		return nil, fmt.Errorf("%w: db: load: %v", persist.ErrCorrupt, err)
 	}
 	d, err := New(snap.Dim)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: db: load: %v", persist.ErrCorrupt, err)
 	}
 	for _, item := range snap.Items {
 		if _, err := d.Add(item.Label, item.Vector); err != nil {
-			return nil, fmt.Errorf("db: load item %d: %w", item.ID, err)
+			return nil, fmt.Errorf("%w: db: load item %d: %v", persist.ErrCorrupt, item.ID, err)
 		}
 	}
 	for name, sr := range snap.Reductions {
 		red, err := core.NewReduction(sr.Assign, sr.Reduced)
 		if err != nil {
-			return nil, fmt.Errorf("db: load reduction %q: %w", name, err)
+			return nil, fmt.Errorf("%w: db: load reduction %q: %v", persist.ErrCorrupt, name, err)
 		}
 		if err := d.Precompute(name, red); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: db: load reduction %q: %v", persist.ErrCorrupt, name, err)
 		}
 	}
 	return d, nil

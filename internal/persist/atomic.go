@@ -1,0 +1,60 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes a file so that path either keeps its previous
+// contents or holds the complete new contents — never a torn mixture.
+// It streams write into a temp file in the same directory, fsyncs it,
+// and renames it over path; the directory is fsynced afterwards so the
+// rename itself is durable. On any error the temp file is removed and
+// the previous file at path is left untouched.
+func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: create temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			_ = os.Remove(tmpName)
+		}
+	}()
+	if err := write(tmp); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("persist: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("persist: rename into place: %w", err)
+	}
+	tmpName = "" // committed; nothing to clean up
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Failure to open or sync the directory is reported: losing the rename
+// on power failure is exactly the failure mode this package exists to
+// close.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: open dir for sync: %w", err)
+	}
+	defer func() { _ = d.Close() }() // read-only fd, nothing to lose
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

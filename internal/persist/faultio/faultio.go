@@ -1,0 +1,108 @@
+// Package faultio provides fault-injecting io.Writer / io.Reader
+// wrappers for exercising persistence error paths: writers that fail
+// or go short after a byte budget (simulating a full disk or a crash
+// mid-write), flaky writers that fail selected calls (transient I/O
+// errors), and readers that error or truncate mid-stream. The torture
+// tests drive every save/load/WAL code path through these to assert
+// that persistence either succeeds, fails loudly with a typed error,
+// or — for crash-shaped faults — leaves bytes that recovery handles.
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the default error returned by injected faults.
+var ErrInjected = errors.New("faultio: injected failure")
+
+// Writer passes bytes through to W until Budget bytes have been
+// written, then fails. The failing call still forwards the bytes that
+// fit the budget — exactly what a crash or a full disk leaves behind —
+// and reports a short write with Err. Every later call fails without
+// writing.
+type Writer struct {
+	W      io.Writer
+	Budget int64 // bytes allowed through before failing
+	Err    error // error to return; nil means ErrInjected
+
+	written int64
+}
+
+func (w *Writer) Write(p []byte) (int, error) {
+	fail := w.Err
+	if fail == nil {
+		fail = ErrInjected
+	}
+	remaining := w.Budget - w.written
+	if remaining <= 0 {
+		return 0, fail
+	}
+	if int64(len(p)) <= remaining {
+		n, err := w.W.Write(p)
+		w.written += int64(n)
+		return n, err
+	}
+	n, err := w.W.Write(p[:remaining])
+	w.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, fail
+}
+
+// Written reports how many bytes reached the underlying writer.
+func (w *Writer) Written() int64 { return w.written }
+
+// Flaky fails the Write calls whose 1-based sequence numbers are in
+// FailCalls — without writing anything — and passes every other call
+// through, modeling transient I/O errors a caller may retry around.
+type Flaky struct {
+	W         io.Writer
+	FailCalls map[int]bool
+	Err       error
+
+	call int
+}
+
+func (f *Flaky) Write(p []byte) (int, error) {
+	f.call++
+	if f.FailCalls[f.call] {
+		if f.Err != nil {
+			return 0, f.Err
+		}
+		return 0, ErrInjected
+	}
+	return f.W.Write(p)
+}
+
+// Reader yields bytes from R until Budget bytes have been read, then
+// fails with Err (default ErrInjected) — a read fault, not an EOF.
+type Reader struct {
+	R      io.Reader
+	Budget int64
+	Err    error
+
+	read int64
+}
+
+func (r *Reader) Read(p []byte) (int, error) {
+	fail := r.Err
+	if fail == nil {
+		fail = ErrInjected
+	}
+	remaining := r.Budget - r.read
+	if remaining <= 0 {
+		return 0, fail
+	}
+	if int64(len(p)) > remaining {
+		p = p[:remaining]
+	}
+	n, err := r.R.Read(p)
+	r.read += int64(n)
+	return n, err
+}
+
+// Truncated yields only the first n bytes of r and then reports EOF,
+// modeling a file cut short by a crash.
+func Truncated(r io.Reader, n int64) io.Reader { return io.LimitReader(r, n) }

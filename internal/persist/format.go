@@ -1,0 +1,294 @@
+// Package persist implements the crash-safe on-disk formats behind the
+// engine's durability story: a versioned, checksummed snapshot format
+// written atomically (temp file -> fsync -> rename), and a write-ahead
+// log whose records are appended — CRC-framed and fsynced — before the
+// corresponding in-memory mutation happens.
+//
+// Both formats share one frame layout,
+//
+//	u32  length of body (little-endian)
+//	u32  ^length (bitwise complement of the length word)
+//	body
+//	u32  IEEE CRC32 of body
+//
+// chosen so that damage is classifiable: a torn append (crash mid
+// write) leaves an *incomplete* frame at the end of the file, while a
+// bit flip anywhere inside a *complete* frame — including in the
+// length words, which must match their complement — fails the
+// complement or CRC check. Readers therefore either truncate a torn
+// tail (write-ahead log only; the record was never acknowledged) or
+// fail loudly with ErrCorrupt, and never mistake one for the other on
+// single-byte damage.
+//
+// All failure modes map onto three typed sentinel errors — ErrCorrupt,
+// ErrVersion and ErrConfigMismatch — so callers can distinguish "the
+// bytes are damaged" from "a newer tool wrote this" from "this file
+// belongs to a differently-configured engine" without parsing error
+// strings.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// Magic identifies a versioned snapshot file. Files that do not start
+// with it are treated as legacy (version-0) gob streams by the engine.
+const Magic = "EMDSNAP\x00"
+
+// SnapshotVersion is the current snapshot format version.
+const SnapshotVersion = 1
+
+// maxFrame bounds a single frame body; larger declared lengths can
+// only come from damage.
+const maxFrame = 1 << 30
+
+var (
+	// ErrCorrupt reports damaged bytes: a failed checksum, an
+	// inconsistent frame header, malformed section contents, or data
+	// that fails semantic validation on load.
+	ErrCorrupt = errors.New("persist: corrupt file")
+	// ErrVersion reports a format version this build does not read.
+	ErrVersion = errors.New("persist: unsupported format version")
+	// ErrConfigMismatch reports a file written by an engine with a
+	// different configuration (dimensionality, ground-distance matrix,
+	// reduction) than the one trying to read it.
+	ErrConfigMismatch = errors.New("persist: configuration mismatch")
+
+	// errTorn is the internal classification of an incomplete final
+	// frame: the file ends mid-frame, as a crash during an append
+	// leaves it. The WAL reader truncates it; the snapshot reader
+	// (whose files are written atomically and can never legitimately
+	// be torn) converts it to ErrCorrupt.
+	errTorn = errors.New("persist: torn frame")
+)
+
+// Header is the snapshot preamble: the engine configuration
+// fingerprint a reader must match before trusting the payload.
+type Header struct {
+	// Dim is the histogram dimensionality.
+	Dim int
+	// CostHash fingerprints the ground-distance matrix (see CostHash).
+	CostHash uint64
+	// Items is the number of persisted histograms; cross-checked
+	// against the items section.
+	Items int
+	// ReducedDims is the d' of the persisted engine reduction, 0 when
+	// the engine runs unreduced.
+	ReducedDims int
+}
+
+// Item is one persisted database object.
+type Item struct {
+	ID     int
+	Label  string
+	Vector []float64
+}
+
+// Reduction is a persisted dimensionality reduction: the assignment of
+// original to reduced bins.
+type Reduction struct {
+	Assign  []int
+	Reduced int
+}
+
+// Snapshot is the full persisted engine state.
+type Snapshot struct {
+	Header Header
+	Items  []Item
+	// Reductions are the store-registered reductions by name (legacy
+	// engines smuggled the engine reduction through here).
+	Reductions map[string]Reduction
+	// EngineReduction is the engine's active reduction, nil when
+	// unreduced or not yet built.
+	EngineReduction *Reduction
+	// Deleted lists soft-deleted item ids, ascending.
+	Deleted []int
+}
+
+// reductionsSection is the gob payload of the third snapshot section.
+type reductionsSection struct {
+	Named  map[string]Reduction
+	Engine *Reduction
+}
+
+// CostHash fingerprints a ground-distance matrix: shape plus the exact
+// bit pattern of every entry. Two cost matrices hash equal iff they
+// are entrywise identical.
+func CostHash(cost [][]float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(cost)))
+	h.Write(b[:])
+	for _, row := range cost {
+		binary.LittleEndian.PutUint64(b[:], uint64(len(row)))
+		h.Write(b[:])
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// appendFrame appends the framed body to dst.
+func appendFrame(dst, body []byte) []byte {
+	var w [4]byte
+	n := uint32(len(body))
+	binary.LittleEndian.PutUint32(w[:], n)
+	dst = append(dst, w[:]...)
+	binary.LittleEndian.PutUint32(w[:], ^n)
+	dst = append(dst, w[:]...)
+	dst = append(dst, body...)
+	binary.LittleEndian.PutUint32(w[:], crc32.ChecksumIEEE(body))
+	return append(dst, w[:]...)
+}
+
+// frameOverhead is the framing cost beyond the body itself.
+const frameOverhead = 12
+
+// writeFrame writes one framed body to w.
+func writeFrame(w io.Writer, body []byte) error {
+	if _, err := w.Write(appendFrame(nil, body)); err != nil {
+		return fmt.Errorf("persist: write frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one frame from r. It returns io.EOF at a clean frame
+// boundary, errTorn when the file ends inside the frame, and an
+// ErrCorrupt-wrapped error when a complete frame fails its complement
+// or CRC check.
+func readFrame(r io.Reader) (body []byte, err error) {
+	var hdr [8]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err == io.EOF && n == 0 {
+		return nil, io.EOF
+	}
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return nil, errTorn
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: read frame: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	inv := binary.LittleEndian.Uint32(hdr[4:8])
+	if length != ^inv {
+		return nil, fmt.Errorf("%w: frame length %d contradicts its complement", ErrCorrupt, length)
+	}
+	if length > maxFrame {
+		return nil, fmt.Errorf("%w: frame length %d exceeds limit", ErrCorrupt, length)
+	}
+	buf := make([]byte, int(length)+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, errTorn
+		}
+		return nil, fmt.Errorf("persist: read frame: %w", err)
+	}
+	body = buf[:length]
+	want := binary.LittleEndian.Uint32(buf[length:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: frame checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return body, nil
+}
+
+// gobFrame writes v as one gob-encoded frame.
+func gobFrame(w io.Writer, v interface{}) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("persist: encode section: %w", err)
+	}
+	return writeFrame(w, buf.Bytes())
+}
+
+// readGobFrame reads one frame and gob-decodes it into v. Torn frames
+// are corruption here: the snapshot format is written atomically.
+func readGobFrame(r io.Reader, v interface{}, section string) error {
+	body, err := readFrame(r)
+	if err == io.EOF || err == errTorn {
+		return fmt.Errorf("%w: snapshot truncated in %s section", ErrCorrupt, section)
+	}
+	if err != nil {
+		return fmt.Errorf("%s section: %w", section, err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(v); err != nil {
+		return fmt.Errorf("%w: decode %s section: %v", ErrCorrupt, section, err)
+	}
+	return nil
+}
+
+// WriteSnapshot writes s to w in the versioned format: magic, version
+// word, then one CRC-framed gob section each for the header, the
+// items, the reductions and the deleted set.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	if s.Header.Items != len(s.Items) {
+		return fmt.Errorf("persist: header declares %d items, snapshot carries %d", s.Header.Items, len(s.Items))
+	}
+	if _, err := w.Write([]byte(Magic)); err != nil {
+		return fmt.Errorf("persist: write magic: %w", err)
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], SnapshotVersion)
+	if _, err := w.Write(v[:]); err != nil {
+		return fmt.Errorf("persist: write version: %w", err)
+	}
+	if err := gobFrame(w, s.Header); err != nil {
+		return err
+	}
+	if err := gobFrame(w, s.Items); err != nil {
+		return err
+	}
+	if err := gobFrame(w, reductionsSection{Named: s.Reductions, Engine: s.EngineReduction}); err != nil {
+		return err
+	}
+	return gobFrame(w, s.Deleted)
+}
+
+// ReadSnapshot reads a snapshot written by WriteSnapshot. Every
+// anomaly maps to ErrCorrupt or ErrVersion; it never panics and never
+// returns partially-decoded data.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var preamble [len(Magic) + 4]byte
+	if _, err := io.ReadFull(r, preamble[:]); err != nil {
+		return nil, fmt.Errorf("%w: short preamble", ErrCorrupt)
+	}
+	if string(preamble[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	version := binary.LittleEndian.Uint32(preamble[len(Magic):])
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d", ErrVersion, version, SnapshotVersion)
+	}
+	s := &Snapshot{}
+	if err := readGobFrame(r, &s.Header, "header"); err != nil {
+		return nil, err
+	}
+	if err := readGobFrame(r, &s.Items, "items"); err != nil {
+		return nil, err
+	}
+	var reds reductionsSection
+	if err := readGobFrame(r, &reds, "reductions"); err != nil {
+		return nil, err
+	}
+	s.Reductions, s.EngineReduction = reds.Named, reds.Engine
+	if err := readGobFrame(r, &s.Deleted, "deleted"); err != nil {
+		return nil, err
+	}
+	if s.Header.Items != len(s.Items) {
+		return nil, fmt.Errorf("%w: header declares %d items, snapshot carries %d", ErrCorrupt, s.Header.Items, len(s.Items))
+	}
+	var trailer [1]byte
+	if n, err := r.Read(trailer[:]); n > 0 || (err != nil && err != io.EOF) {
+		return nil, fmt.Errorf("%w: trailing data after snapshot", ErrCorrupt)
+	}
+	return s, nil
+}

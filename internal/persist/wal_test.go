@@ -1,0 +1,381 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var testHdr = WALHeader{Dim: 3, CostHash: 0x0123456789abcdef}
+
+func testRecords() []WALRecord {
+	return []WALRecord{
+		{Op: WALAdd, ID: 0, Label: "a", Vector: []float64{0.5, 0.25, 0.25}},
+		{Op: WALAdd, ID: 1, Label: "", Vector: []float64{0, 0, 1}},
+		{Op: WALDelete, ID: 0},
+		{Op: WALAdd, ID: 2, Label: "c", Vector: []float64{1, 0, 0}},
+		{Op: WALDelete, ID: 2},
+	}
+}
+
+// writeTestWAL appends recs and returns the acknowledged file size
+// after each append (index 0 is the size of the bare preamble).
+func writeTestWAL(t *testing.T, path string, recs []WALRecord) []int64 {
+	t.Helper()
+	w, _, err := OpenWAL(path, testHdr)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	sizes := []int64{w.Size()}
+	for i, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		sizes = append(sizes, w.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sizes
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	want := testRecords()
+	writeTestWAL(t, path, want)
+	got, scan, err := ReplayWAL(path, testHdr)
+	if err != nil {
+		t.Fatalf("ReplayWAL: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("records mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if scan.Records != len(want) || scan.TornBytes != 0 || scan.MaxAddID != 2 {
+		t.Fatalf("scan %+v", scan)
+	}
+}
+
+func TestWALReopenAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	recs := testRecords()
+	writeTestWAL(t, path, recs[:3])
+	w, scan, err := OpenWAL(path, testHdr)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if scan.Records != 3 {
+		t.Fatalf("reopen scan saw %d records, want 3", scan.Records)
+	}
+	for _, rec := range recs[3:] {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReplayWAL(path, testHdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("records mismatch after reopen:\ngot  %+v\nwant %+v", got, recs)
+	}
+}
+
+// TestWALTornTailMatrix truncates the log at every byte length and
+// asserts replay recovers exactly the records whose frames fit —
+// silently for none, loudly for nothing.
+func TestWALTornTailMatrix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	recs := testRecords()
+	sizes := writeTestWAL(t, path, recs)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != sizes[len(sizes)-1] {
+		t.Fatalf("file size %d, acknowledged %d", len(full), sizes[len(sizes)-1])
+	}
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		sub := filepath.Join(dir, "cut")
+		if err := os.WriteFile(sub, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, scan, err := ReplayWAL(sub, testHdr)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantN := 0
+		wantGood := int64(0)
+		for k, s := range sizes {
+			if s <= cut {
+				wantN = k
+				wantGood = s
+			}
+		}
+		if len(got) != wantN {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(got), wantN)
+		}
+		if !reflect.DeepEqual(got, append([]WALRecord(nil), recs[:wantN]...)) {
+			t.Fatalf("cut %d: wrong records %+v", cut, got)
+		}
+		if scan.GoodSize != wantGood || scan.TornBytes != cut-wantGood {
+			t.Fatalf("cut %d: scan %+v, want good %d torn %d", cut, scan, wantGood, cut-wantGood)
+		}
+	}
+}
+
+// TestWALBitFlipMatrix flips every byte of a complete log; replay must
+// fail with a typed error every time — a complete frame can never be
+// silently misread, and a flip is never confused with a torn tail.
+func TestWALBitFlipMatrix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	writeTestWAL(t, path, testRecords())
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		bad := append([]byte(nil), full...)
+		bad[i] ^= 0xff
+		sub := filepath.Join(dir, "flip")
+		if err := os.WriteFile(sub, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, scan, err := ReplayWAL(sub, testHdr)
+		if err == nil {
+			t.Fatalf("flip at byte %d accepted: %d records, scan %+v", i, len(recs), scan)
+		}
+		if !isTyped(err) {
+			t.Fatalf("flip at byte %d: untyped error %v", i, err)
+		}
+	}
+}
+
+func TestWALConfigMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	writeTestWAL(t, path, testRecords()[:1])
+	other := WALHeader{Dim: 4, CostHash: testHdr.CostHash}
+	if _, _, err := ReplayWAL(path, other); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("replay with wrong dim: %v", err)
+	}
+	other = WALHeader{Dim: testHdr.Dim, CostHash: 1}
+	if _, _, err := OpenWAL(path, other); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("open with wrong cost hash: %v", err)
+	}
+}
+
+func TestWALVersionRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	writeTestWAL(t, path, nil)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full[len(WALMagic)] = 42
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayWAL(path, testHdr); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+// TestWALOpenTruncatesTornTail simulates a crash mid-append and
+// reopens the log for writing: the torn frame must be cut away so new
+// appends land on a clean boundary.
+func TestWALOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	recs := testRecords()
+	sizes := writeTestWAL(t, path, recs[:3])
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid way into the third record's frame.
+	cut := (sizes[2] + sizes[3]) / 2
+	if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, scan, err := OpenWAL(path, testHdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Records != 2 || scan.TornBytes != cut-sizes[2] {
+		t.Fatalf("scan %+v", scan)
+	}
+	if err := w.Append(recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReplayWAL(path, testHdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []WALRecord{recs[0], recs[1], recs[3]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after torn-tail reopen:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := OpenWAL(path, testHdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	for _, rec := range recs[:3] {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReplayWAL(path, testHdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs[3:4]) {
+		t.Fatalf("after reset: %+v, want %+v", got, recs[3:4])
+	}
+}
+
+// fakeWALFile is an in-memory walFile with injectable write/truncate
+// failures for exercising Append's rollback and the broken latch.
+type fakeWALFile struct {
+	buf          []byte
+	failWrites   int // fail this many upcoming writes
+	partialWrite int // on a failing write, persist this prefix
+	failTruncate bool
+}
+
+func (f *fakeWALFile) Write(p []byte) (int, error) {
+	if f.failWrites > 0 {
+		f.failWrites--
+		n := f.partialWrite
+		if n > len(p) {
+			n = len(p)
+		}
+		f.buf = append(f.buf, p[:n]...)
+		return n, fmt.Errorf("fake write error")
+	}
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+func (f *fakeWALFile) Sync() error { return nil }
+
+func (f *fakeWALFile) Truncate(size int64) error {
+	if f.failTruncate {
+		return fmt.Errorf("fake truncate error")
+	}
+	if size <= int64(len(f.buf)) {
+		f.buf = f.buf[:size]
+	}
+	return nil
+}
+
+func (f *fakeWALFile) Close() error { return nil }
+
+// replayBytes round-trips raw WAL bytes through a file so scanWAL can
+// read them.
+func replayBytes(t *testing.T, raw []byte) ([]WALRecord, *WALScan, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return ReplayWAL(path, testHdr)
+}
+
+// TestWALAppendRollback: a failed append must leave the on-disk bytes
+// exactly at the previous acknowledged boundary, and the WAL must keep
+// working afterwards.
+func TestWALAppendRollback(t *testing.T) {
+	fake := &fakeWALFile{}
+	w := &WAL{f: fake, hdr: testHdr}
+	if err := w.writePreambleLocked(); err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	if err := w.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	fake.failWrites, fake.partialWrite = 1, 7 // crash-shaped: a few bytes land
+	if err := w.Append(recs[1]); err == nil {
+		t.Fatal("injected write error swallowed")
+	}
+	// Rollback succeeded: the partial frame is gone and appends resume.
+	if err := w.Append(recs[2]); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	got, scan, err := replayBytes(t, fake.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []WALRecord{recs[0], recs[2]}
+	if !reflect.DeepEqual(got, want) || scan.TornBytes != 0 {
+		t.Fatalf("after rollback: %+v (scan %+v), want %+v", got, scan, want)
+	}
+}
+
+// TestWALBrokenLatch: if the rollback itself fails, the WAL must latch
+// broken and refuse further appends instead of stranding records
+// behind a half-written frame.
+func TestWALBrokenLatch(t *testing.T) {
+	fake := &fakeWALFile{}
+	w := &WAL{f: fake, hdr: testHdr}
+	if err := w.writePreambleLocked(); err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	fake.failWrites, fake.partialWrite, fake.failTruncate = 1, 5, true
+	if err := w.Append(recs[0]); err == nil {
+		t.Fatal("injected write error swallowed")
+	}
+	if err := w.Append(recs[1]); err == nil {
+		t.Fatal("append on a broken WAL must fail")
+	}
+	// The half-written frame is visible to replay as a torn tail; no
+	// record after it was ever acknowledged.
+	got, scan, err := replayBytes(t, fake.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || scan.TornBytes != 5 {
+		t.Fatalf("broken WAL bytes: %d records, scan %+v", len(got), scan)
+	}
+	// Reset repairs the log (truncate works again) and clears the latch.
+	fake.failTruncate = false
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(recs[0]); err != nil {
+		t.Fatalf("append after reset: %v", err)
+	}
+	got, _, err = replayBytes(t, fake.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs[:1]) {
+		t.Fatalf("after reset: %+v", got)
+	}
+}

@@ -51,6 +51,16 @@ type Metrics struct {
 	// query. A high rate signals interleaving mutations with queries.
 	SnapshotBuilds int64 `json:"snapshot_builds"`
 
+	// WALAppends counts mutations (Add/Delete) durably appended to an
+	// open write-ahead log; WALReplayed counts log records applied by
+	// RecoverEngine. SnapshotSaves counts snapshot files written by
+	// SaveFile/Checkpoint, and Checkpoints counts completed
+	// snapshot-plus-log-rotation cycles.
+	WALAppends    int64 `json:"wal_appends"`
+	WALReplayed   int64 `json:"wal_replayed"`
+	SnapshotSaves int64 `json:"snapshot_saves"`
+	Checkpoints   int64 `json:"checkpoints"`
+
 	// Pulled, Refinements and RefinementsSkipped are the summed
 	// QueryStats counters of all served KNN/Range queries.
 	Pulled             int64 `json:"pulled"`
@@ -175,6 +185,30 @@ func (em *engineMetrics) queryError() {
 func (em *engineMetrics) snapshotBuilt() {
 	em.mu.Lock()
 	em.m.SnapshotBuilds++
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) walAppended() {
+	em.mu.Lock()
+	em.m.WALAppends++
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) walReplayed(n int) {
+	em.mu.Lock()
+	em.m.WALReplayed += int64(n)
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) snapshotSaved() {
+	em.mu.Lock()
+	em.m.SnapshotSaves++
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) checkpointed() {
+	em.mu.Lock()
+	em.m.Checkpoints++
 	em.mu.Unlock()
 }
 

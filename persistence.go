@@ -1,0 +1,420 @@
+package emdsearch
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"emdsearch/internal/core"
+	"emdsearch/internal/db"
+	"emdsearch/internal/persist"
+)
+
+// Typed persistence errors. Every failure of Save, SaveFile,
+// LoadEngine, LoadEngineFile, OpenWAL, Checkpoint and RecoverEngine
+// that stems from the state of a file (rather than plain I/O) matches
+// exactly one of these under errors.Is.
+var (
+	// ErrCorrupt reports damaged persisted bytes: failed checksums,
+	// torn snapshot sections, undecodable payloads, or decoded data
+	// that fails validation (NaN/negative/unnormalized histograms,
+	// malformed reductions, out-of-range ids).
+	ErrCorrupt = persist.ErrCorrupt
+	// ErrVersion reports a snapshot or WAL written in a format version
+	// this build does not read.
+	ErrVersion = persist.ErrVersion
+	// ErrConfigMismatch reports a snapshot or WAL that belongs to an
+	// engine configured differently (dimensionality, ground-distance
+	// matrix, reduction d') than the one loading it.
+	ErrConfigMismatch = persist.ErrConfigMismatch
+)
+
+// costHash fingerprints the engine's ground-distance matrix for the
+// snapshot and WAL headers.
+func (e *Engine) costHash() uint64 { return persist.CostHash(e.cost) }
+
+// snapshotRecordLocked assembles the persistable engine state: items,
+// registered and engine reductions, and the soft-deleted set. The
+// caller must hold e.mu. Vectors are shared, not copied — they are
+// immutable once added, so the record stays valid after the lock is
+// released.
+func (e *Engine) snapshotRecordLocked() *persist.Snapshot {
+	n := e.store.Len()
+	items := make([]persist.Item, n)
+	for i := 0; i < n; i++ {
+		it := e.store.Item(i)
+		items[i] = persist.Item{ID: it.ID, Label: it.Label, Vector: it.Vector}
+	}
+	var named map[string]persist.Reduction
+	if reds := e.store.Reductions(); len(reds) > 0 {
+		named = make(map[string]persist.Reduction, len(reds))
+		for name, r := range reds {
+			named[name] = persist.Reduction{Assign: r.Assignment(), Reduced: r.ReducedDims()}
+		}
+	}
+	var engRed *persist.Reduction
+	redDims := 0
+	if e.red != nil {
+		engRed = &persist.Reduction{Assign: e.red.Assignment(), Reduced: e.red.ReducedDims()}
+		redDims = e.red.ReducedDims()
+	}
+	deleted := make([]int, 0, len(e.deleted))
+	for id := range e.deleted {
+		deleted = append(deleted, id)
+	}
+	sort.Ints(deleted)
+	return &persist.Snapshot{
+		Header: persist.Header{
+			Dim:         e.store.Dim(),
+			CostHash:    e.costHash(),
+			Items:       n,
+			ReducedDims: redDims,
+		},
+		Items:           items,
+		Reductions:      named,
+		EngineReduction: engRed,
+		Deleted:         deleted,
+	}
+}
+
+// Save writes the engine's full persistent state — items, reduction,
+// and the soft-deleted set — to w in the versioned, checksummed
+// snapshot format (magic, format version, configuration fingerprint,
+// per-section CRC32 trailers). Prefer SaveFile for writing to disk: it
+// additionally guarantees the file is replaced atomically.
+func (e *Engine) Save(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := persist.WriteSnapshot(w, e.snapshotRecordLocked()); err != nil {
+		return fmt.Errorf("emdsearch: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the engine's state to path atomically: the snapshot
+// is streamed to a temp file in the same directory, fsynced, and
+// renamed over path. A crash at any point leaves either the previous
+// snapshot or the complete new one — never a torn file.
+func (e *Engine) SaveFile(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.saveFileLocked(path)
+}
+
+func (e *Engine) saveFileLocked(path string) error {
+	s := e.snapshotRecordLocked()
+	err := persist.AtomicWriteFile(path, func(w io.Writer) error {
+		return persist.WriteSnapshot(w, s)
+	})
+	if err != nil {
+		return fmt.Errorf("emdsearch: save %s: %w", path, err)
+	}
+	e.metrics.snapshotSaved()
+	return nil
+}
+
+// LoadEngine restores an engine saved with Save or SaveFile; cost and
+// opts must match the saved engine's configuration (they are not
+// serialized — the snapshot carries a fingerprint that is verified,
+// and a mismatch fails with ErrConfigMismatch). Damaged input fails
+// with ErrCorrupt and a future format with ErrVersion; loaded
+// histograms are re-validated, so a tampered snapshot can never plant
+// invalid data in the validated refinement path.
+//
+// Streams that do not start with the snapshot magic are read as legacy
+// (version-0) gob databases, as written by emdgen and by Engine.Save
+// before the versioned format existed. The legacy format carries no
+// checksums and no soft-deleted set; undecodable legacy bytes fail
+// with ErrCorrupt.
+//
+// Only the finest reduction is persisted: an engine configured with a
+// Hierarchy answers queries exactly after loading but runs the
+// single-level filter until Build is called again to re-derive the
+// cascade.
+func LoadEngine(r io.Reader, cost CostMatrix, opts Options) (*Engine, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(persist.Magic))
+	if err != nil || !bytes.Equal(head, []byte(persist.Magic)) {
+		return loadLegacyEngine(br, cost, opts)
+	}
+	snap, err := persist.ReadSnapshot(br)
+	if err != nil {
+		return nil, fmt.Errorf("emdsearch: load: %w", err)
+	}
+	return engineFromSnapshot(snap, cost, opts)
+}
+
+// LoadEngineFile restores an engine from a snapshot file written by
+// SaveFile (or Save, or a legacy gob file).
+func LoadEngineFile(path string, cost CostMatrix, opts Options) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("emdsearch: load %s: %w", path, err)
+	}
+	defer f.Close()
+	e, err := LoadEngine(f, cost, opts)
+	if err != nil {
+		return nil, fmt.Errorf("emdsearch: load %s: %w", path, err)
+	}
+	return e, nil
+}
+
+// engineFromSnapshot validates a decoded snapshot against the caller's
+// configuration and materializes the engine. All content failures are
+// ErrCorrupt; all configuration disagreements are ErrConfigMismatch.
+func engineFromSnapshot(s *persist.Snapshot, cost CostMatrix, opts Options) (*Engine, error) {
+	e, err := NewEngine(cost, opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.Header.Dim != e.Dim() {
+		return nil, fmt.Errorf("emdsearch: %w: snapshot stores %d-dimensional histograms, cost matrix is %dx%d",
+			ErrConfigMismatch, s.Header.Dim, e.Dim(), e.Dim())
+	}
+	if s.Header.CostHash != e.costHash() {
+		return nil, fmt.Errorf("emdsearch: %w: snapshot cost-matrix fingerprint %016x does not match the supplied cost matrix (%016x)",
+			ErrConfigMismatch, s.Header.CostHash, e.costHash())
+	}
+	for i, it := range s.Items {
+		if it.ID != i {
+			return nil, fmt.Errorf("emdsearch: %w: item %d carries id %d", ErrCorrupt, i, it.ID)
+		}
+		// store.Add re-runs full operand validation: dimensionality,
+		// non-negativity, finiteness, mass normalization.
+		if _, err := e.store.Add(it.Label, it.Vector); err != nil {
+			return nil, fmt.Errorf("emdsearch: %w: snapshot item %d: %v", ErrCorrupt, i, err)
+		}
+	}
+	for name, rr := range s.Reductions {
+		red, err := core.NewReduction(rr.Assign, rr.Reduced)
+		if err != nil {
+			return nil, fmt.Errorf("emdsearch: %w: snapshot reduction %q: %v", ErrCorrupt, name, err)
+		}
+		if err := e.store.Precompute(name, red); err != nil {
+			return nil, fmt.Errorf("emdsearch: %w: snapshot reduction %q: %v", ErrCorrupt, name, err)
+		}
+	}
+	if s.EngineReduction != nil {
+		red, err := core.NewReduction(s.EngineReduction.Assign, s.EngineReduction.Reduced)
+		if err != nil {
+			return nil, fmt.Errorf("emdsearch: %w: snapshot engine reduction: %v", ErrCorrupt, err)
+		}
+		if red.OriginalDims() != e.Dim() {
+			return nil, fmt.Errorf("emdsearch: %w: snapshot engine reduction covers %d dimensions, want %d",
+				ErrCorrupt, red.OriginalDims(), e.Dim())
+		}
+		if opts.ReducedDims != 0 && red.ReducedDims() != e.opts.ReducedDims {
+			return nil, fmt.Errorf("emdsearch: %w: saved reduction has d'=%d, options request %d",
+				ErrConfigMismatch, red.ReducedDims(), e.opts.ReducedDims)
+		}
+		e.red = red
+	}
+	for _, id := range s.Deleted {
+		if id < 0 || id >= e.store.Len() {
+			return nil, fmt.Errorf("emdsearch: %w: deleted id %d out of range [0, %d)", ErrCorrupt, id, e.store.Len())
+		}
+		if e.deleted == nil {
+			e.deleted = make(map[int]bool, len(s.Deleted))
+		}
+		e.deleted[id] = true
+	}
+	return e, nil
+}
+
+// loadLegacyEngine is the version-0 fallback: a raw gob database
+// stream from before the versioned snapshot format. db.Load re-runs
+// full validation over every decoded histogram and wraps decode
+// failures in ErrCorrupt.
+func loadLegacyEngine(r io.Reader, cost CostMatrix, opts Options) (*Engine, error) {
+	e, err := NewEngine(cost, opts)
+	if err != nil {
+		return nil, err
+	}
+	store, err := db.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("emdsearch: load: %w", err)
+	}
+	if store.Dim() != e.Dim() {
+		return nil, fmt.Errorf("emdsearch: %w: saved data has %d dimensions, cost matrix has %d",
+			ErrConfigMismatch, store.Dim(), e.Dim())
+	}
+	e.store = store
+	if red, ok := store.Reduction("engine"); ok {
+		if red.ReducedDims() != e.opts.ReducedDims && e.opts.ReducedDims != 0 {
+			return nil, fmt.Errorf("emdsearch: %w: saved reduction has d'=%d, options request %d",
+				ErrConfigMismatch, red.ReducedDims(), e.opts.ReducedDims)
+		}
+		e.red = red
+	}
+	return e, nil
+}
+
+// OpenWAL attaches a write-ahead log at path to the engine: every
+// subsequent Add and Delete is validated, appended to the log,
+// fsynced, and only then applied in memory, so acknowledged mutations
+// survive a crash and are replayed by RecoverEngine over the last
+// snapshot.
+//
+// A fresh or empty file is initialized with the log preamble
+// (including the engine's configuration fingerprint). An existing file
+// is integrity-checked first: it must carry the same fingerprint
+// (ErrConfigMismatch), complete-frame damage fails with ErrCorrupt, a
+// torn final record — the signature of a crash mid-append — is
+// truncated away, and a log holding mutations beyond the engine's
+// current state is refused (run RecoverEngine first, then reopen).
+func (e *Engine) OpenWAL(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.wal != nil {
+		return fmt.Errorf("emdsearch: engine already has an open WAL at %s", e.wal.Path())
+	}
+	w, scan, err := persist.OpenWAL(path, persist.WALHeader{Dim: e.store.Dim(), CostHash: e.costHash()})
+	if err != nil {
+		return fmt.Errorf("emdsearch: open WAL: %w", err)
+	}
+	if scan.MaxAddID >= e.store.Len() {
+		cerr := w.Close()
+		return fmt.Errorf("emdsearch: WAL %s holds mutations beyond the engine's %d items; recover with RecoverEngine before reopening (close: %v)",
+			path, e.store.Len(), cerr)
+	}
+	e.wal = w
+	return nil
+}
+
+// CloseWAL detaches and closes the engine's write-ahead log. Further
+// mutations are no longer logged. Closing an engine without an open
+// WAL is a no-op.
+func (e *Engine) CloseWAL() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.wal == nil {
+		return nil
+	}
+	err := e.wal.Close()
+	e.wal = nil
+	return err
+}
+
+// Checkpoint writes a fresh snapshot to path (atomically, like
+// SaveFile) and then resets the write-ahead log, bounding replay work
+// at the next recovery. The snapshot is durable before the log is
+// truncated, and WAL replay is idempotent over snapshot contents, so a
+// crash between the two steps recovers correctly: the replayed records
+// are recognized as already applied and skipped.
+//
+// Checkpoint holds the engine's write lock for the duration of the
+// file write; concurrent queries that already hold a pipeline snapshot
+// proceed, new queries block until the checkpoint completes.
+func (e *Engine) Checkpoint(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.saveFileLocked(path); err != nil {
+		return err
+	}
+	if e.wal != nil {
+		if err := e.wal.Reset(); err != nil {
+			return fmt.Errorf("emdsearch: checkpoint: rotate WAL: %w", err)
+		}
+	}
+	e.metrics.checkpointed()
+	return nil
+}
+
+// RecoverStats reports what RecoverEngine found and did.
+type RecoverStats struct {
+	// SnapshotLoaded is false when no snapshot file existed and
+	// recovery started from an empty engine.
+	SnapshotLoaded bool
+	// WALRecords is the number of log records applied on top of the
+	// snapshot.
+	WALRecords int
+	// WALSkipped counts records recognized as already contained in the
+	// snapshot (a crash between Checkpoint's snapshot write and its
+	// log rotation leaves such records; replay is idempotent).
+	WALSkipped int
+	// TornBytes counts trailing log bytes discarded as an append torn
+	// by a crash; the mutation they belonged to was never acknowledged.
+	TornBytes int64
+}
+
+// RecoverEngine rebuilds an engine after a crash: it loads the last
+// good snapshot from snapshotPath (an absent file starts from an empty
+// engine; a damaged one fails with ErrCorrupt rather than guessing),
+// then replays the write-ahead log at walPath over it, truncating a
+// torn final record. Replay is idempotent: records the snapshot
+// already contains are skipped, so recovery is correct no matter where
+// between Checkpoint's two steps a crash landed. Either both paths may
+// point at files from the same engine lineage, or the respective file
+// may not exist; a log that skips past the snapshot's state (a missing
+// or foreign snapshot) fails with ErrCorrupt, and configuration
+// disagreements fail with ErrConfigMismatch.
+//
+// The returned engine has no open WAL; call OpenWAL(walPath) — usually
+// after a Checkpoint — to resume logging.
+func RecoverEngine(snapshotPath, walPath string, cost CostMatrix, opts Options) (*Engine, *RecoverStats, error) {
+	stats := &RecoverStats{}
+	var e *Engine
+	if _, err := os.Stat(snapshotPath); err == nil {
+		e, err = LoadEngineFile(snapshotPath, cost, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.SnapshotLoaded = true
+	} else if os.IsNotExist(err) {
+		e, err = NewEngine(cost, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		return nil, nil, fmt.Errorf("emdsearch: recover: stat snapshot: %w", err)
+	}
+	if walPath == "" {
+		return e, stats, nil
+	}
+	if _, err := os.Stat(walPath); os.IsNotExist(err) {
+		return e, stats, nil
+	} else if err != nil {
+		return nil, nil, fmt.Errorf("emdsearch: recover: stat WAL: %w", err)
+	}
+	recs, scan, err := persist.ReplayWAL(walPath, persist.WALHeader{Dim: e.Dim(), CostHash: persist.CostHash(cost)})
+	if err != nil {
+		return nil, nil, fmt.Errorf("emdsearch: recover: %w", err)
+	}
+	stats.TornBytes = scan.TornBytes
+	for i, rec := range recs {
+		switch rec.Op {
+		case persist.WALAdd:
+			switch {
+			case rec.ID < e.Len():
+				stats.WALSkipped++
+			case rec.ID == e.Len():
+				if _, err := e.Add(rec.Label, rec.Vector); err != nil {
+					return nil, nil, fmt.Errorf("emdsearch: recover: %w: WAL record %d (add %d): %v", ErrCorrupt, i, rec.ID, err)
+				}
+				stats.WALRecords++
+			default:
+				return nil, nil, fmt.Errorf("emdsearch: recover: %w: WAL record %d adds item %d but the snapshot ends at %d — snapshot and log do not belong together",
+					ErrCorrupt, i, rec.ID, e.Len())
+			}
+		case persist.WALDelete:
+			if rec.ID < 0 || rec.ID >= e.Len() {
+				return nil, nil, fmt.Errorf("emdsearch: recover: %w: WAL record %d deletes unknown item %d", ErrCorrupt, i, rec.ID)
+			}
+			if e.Deleted(rec.ID) {
+				stats.WALSkipped++
+				continue
+			}
+			if err := e.Delete(rec.ID); err != nil {
+				return nil, nil, fmt.Errorf("emdsearch: recover: %w: WAL record %d (delete %d): %v", ErrCorrupt, i, rec.ID, err)
+			}
+			stats.WALRecords++
+		default:
+			return nil, nil, fmt.Errorf("emdsearch: recover: %w: WAL record %d has unknown op %d", ErrCorrupt, i, rec.Op)
+		}
+	}
+	e.metrics.walReplayed(stats.WALRecords)
+	return e, stats, nil
+}
