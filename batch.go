@@ -1,7 +1,6 @@
 package emdsearch
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 )
@@ -26,10 +25,10 @@ type BatchResult struct {
 // keep the product of the two near GOMAXPROCS.
 func (e *Engine) BatchKNN(queries []Histogram, k, workers int) ([]BatchResult, error) {
 	if len(queries) == 0 {
-		return nil, fmt.Errorf("emdsearch: empty batch")
+		return nil, badQueryf("empty batch")
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("emdsearch: k = %d, want >= 1", k)
+		return nil, badQueryf("k = %d, want >= 1", k)
 	}
 	// Build the shared pipeline once, before fanning out.
 	if _, err := e.snapshot(); err != nil {

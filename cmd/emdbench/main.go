@@ -34,7 +34,22 @@
 //
 // -wal gives the serve benchmark a write-ahead log: the background
 // writer's Adds then pay a durable (fsynced) log append each, the way
-// a crash-safe ingest would.
+// a crash-safe ingest would. If the log latches broken mid-run the
+// writer heals it with Engine.ReopenWAL under capped exponential
+// backoff instead of dying.
+//
+// -gate routes serve-mode queries through an admission Gate
+// (bounded concurrency, bounded deadline-aware wait queue, load
+// shedding, panic breaker); -maxconcurrent and -maxqueue size it.
+//
+// -overload replaces the closed-loop benchmark with an open-loop
+// overload sweep: after calibrating the uncontended service time it
+// offers 1x, 2x, 5x and 10x the estimated capacity and reports, per
+// level, the outcome split (ok / certified-degraded / shed / internal
+// fault), goodput, admitted p50/p99 and shed p99. -chaos P injects a
+// solver panic with probability P per refinement (and a slow solve
+// with probability 2P), proving panic containment and the breaker
+// under load. With -out the sweep writes a JSON report.
 package main
 
 import (
@@ -58,7 +73,12 @@ func main() {
 		conc      = flag.Int("concurrency", 4, "serve mode: concurrent query clients")
 		timeout   = flag.Duration("timeout", 0, "serve mode: per-query deadline, e.g. 500us or 2ms (0 = no deadline)")
 		walFlag   = flag.String("wal", "", "serve mode: write-ahead-log path; background ingest pays a fsynced append per Add")
-		outFlag   = flag.String("out", "", "refine/persist mode: write the JSON report to this path")
+		outFlag   = flag.String("out", "", "refine/persist/serve mode: write the JSON report to this path")
+		gateFlag  = flag.Bool("gate", false, "serve mode: route queries through an admission Gate (limiter + breaker)")
+		overload  = flag.Bool("overload", false, "serve mode: run the open-loop overload sweep (1x/2x/5x/10x capacity) instead of the closed-loop benchmark")
+		chaos     = flag.Float64("chaos", 0, "serve mode: per-refinement probability of an injected solver panic (and 2x of a slow solve)")
+		maxConc   = flag.Int("maxconcurrent", 0, "serve mode: gate concurrency limit (0 = GOMAXPROCS)")
+		maxQueue  = flag.Int("maxqueue", 0, "serve mode: gate wait-queue bound (0 = 2x maxconcurrent)")
 	)
 	flag.Parse()
 
@@ -105,7 +125,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "emdbench: -concurrency must be at least 1 (got %d)\n", *conc)
 			os.Exit(2)
 		}
-		sc := serveConfig{n: 300, d: 32, queries: 200, workers: *workers, concurrency: *conc, seed: *seedFlag, timeout: *timeout, wal: *walFlag}
+		sc := serveConfig{
+			n: 300, d: 32, queries: 200,
+			workers: *workers, concurrency: *conc, seed: *seedFlag,
+			timeout: *timeout, wal: *walFlag,
+			gate: *gateFlag, overload: *overload, chaos: *chaos,
+			maxConcurrent: *maxConc, maxQueue: *maxQueue, out: *outFlag,
+		}
 		switch *scaleFlag {
 		case "full":
 			sc.n, sc.d, sc.queries = 2000, 96, 1000
@@ -116,7 +142,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "emdbench: unknown scale %q (want full, medium or quick)\n", *scaleFlag)
 			os.Exit(2)
 		}
-		if err := runServe(sc); err != nil {
+		run := runServe
+		if sc.overload {
+			run = runOverload
+		}
+		if err := run(sc); err != nil {
 			fmt.Fprintf(os.Stderr, "emdbench: serve: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,313 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emdsearch"
+	"emdsearch/internal/data"
+)
+
+// chaosHook builds a deterministic fault-injection Options.RefineHook:
+// with probability p a refinement panics (exercising the engine's
+// panic containment end to end), and with probability 2p it sleeps,
+// modeling a pathologically slow solve. Randomness is a splitmix-style
+// hash of an atomic counter, so runs are reproducible and the hook is
+// safe on concurrent refinement workers. The returned enable flag
+// keeps the hook inert until calibration is done.
+func chaosHook(p float64) (func(index int), *atomic.Bool) {
+	var ctr atomic.Uint64
+	var enabled atomic.Bool
+	hook := func(index int) {
+		if p <= 0 || !enabled.Load() {
+			return
+		}
+		x := ctr.Add(1) * 0x9E3779B97F4A7C15
+		x ^= x >> 33
+		x *= 0xFF51AFD7ED558CCD
+		x ^= x >> 33
+		u := float64(x>>11) / float64(1<<53)
+		if u < p {
+			panic(fmt.Sprintf("chaos: injected solver fault refining item %d", index))
+		}
+		if u < 3*p {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	return hook, &enabled
+}
+
+// overloadLevel is one load multiple of the open-loop sweep.
+type overloadLevel struct {
+	Multiplier float64 `json:"multiplier"`
+	OfferedQPS float64 `json:"offered_qps"`
+	Submitted  int     `json:"submitted"`
+	OK         int     `json:"ok"`
+	Degraded   int     `json:"degraded"`
+	Shed       int     `json:"shed"`
+	Internal   int     `json:"internal"`
+	OtherErr   int     `json:"other_err"`
+	GoodputQPS float64 `json:"goodput_qps"`
+	AdmitP50NS int64   `json:"admitted_p50_ns"`
+	AdmitP99NS int64   `json:"admitted_p99_ns"`
+	ShedP99NS  int64   `json:"shed_p99_ns"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+}
+
+// overloadReport is the JSON artifact of the overload sweep.
+type overloadReport struct {
+	N             int             `json:"n"`
+	D             int             `json:"d"`
+	DPrime        int             `json:"dprime"`
+	K             int             `json:"k"`
+	MaxConcurrent int             `json:"max_concurrent"`
+	MaxQueue      int             `json:"max_queue"`
+	Chaos         float64         `json:"chaos"`
+	BaseMeanNS    int64           `json:"baseline_mean_ns"`
+	BaseP99NS     int64           `json:"baseline_p99_ns"`
+	CapacityQPS   float64         `json:"capacity_qps"`
+	Levels        []overloadLevel `json:"levels"`
+	Gate          emdsearch.GateMetrics
+}
+
+// runOverload drives a gated engine through an open-loop overload
+// sweep: it calibrates uncontended service time, then offers load at
+// 1x, 2x, 5x and 10x the estimated capacity with Poisson-free fixed
+// spacing (open loop: arrivals never wait for completions, exactly the
+// regime that collapses an ungated server), optionally with injected
+// solver panics and slow solves (-chaos). Every submitted query is
+// accounted to exactly one outcome: full answer, certified degraded
+// answer, typed overload shed, contained internal fault, or other
+// error. The report shows that goodput stays near capacity and that
+// shed queries fail fast while admitted tail latency stays bounded.
+func runOverload(cfg serveConfig) error {
+	ds, err := data.MusicSpectra(cfg.n+16, cfg.d, cfg.seed)
+	if err != nil {
+		return err
+	}
+	vecs, queries, err := ds.Split(16)
+	if err != nil {
+		return err
+	}
+	dprime := cfg.d / 8
+	if dprime < 2 {
+		dprime = 2
+	}
+	hook, chaosOn := chaosHook(cfg.chaos)
+	eng, err := emdsearch.NewEngine(ds.Cost, emdsearch.Options{
+		ReducedDims: dprime,
+		Workers:     cfg.workers,
+		Seed:        cfg.seed,
+		RefineHook:  hook,
+	})
+	if err != nil {
+		return err
+	}
+	for i, h := range vecs {
+		if _, err := eng.Add(ds.Items[i].Label, h); err != nil {
+			return err
+		}
+	}
+	if err := eng.Build(); err != nil {
+		return err
+	}
+	gate := emdsearch.NewGate(eng, emdsearch.GateOptions{
+		MaxConcurrent: cfg.maxConcurrent,
+		MaxQueue:      cfg.maxQueue,
+		// Under chaos, keep probing the exact path quickly so the sweep
+		// exercises open -> half-open -> closed transitions.
+		BreakerCooldown: 50 * time.Millisecond,
+	})
+	const k = 10
+
+	// Calibrate: uncontended serial queries through the gate (chaos
+	// off) give the baseline service time and the capacity estimate.
+	calN := 50
+	if calN > cfg.queries {
+		calN = cfg.queries
+	}
+	calLats := make([]time.Duration, 0, calN)
+	for i := 0; i < calN; i++ {
+		q := queries[i%len(queries)]
+		t0 := time.Now()
+		if _, err := gate.KNN(context.Background(), q, k); err != nil {
+			return fmt.Errorf("calibration query: %w", err)
+		}
+		calLats = append(calLats, time.Since(t0))
+	}
+	sort.Slice(calLats, func(i, j int) bool { return calLats[i] < calLats[j] })
+	var calTotal time.Duration
+	for _, l := range calLats {
+		calTotal += l
+	}
+	baseMean := calTotal / time.Duration(len(calLats))
+	baseP99 := calLats[int(0.99*float64(len(calLats)-1))]
+	effConc := cfg.maxConcurrent
+	if effConc <= 0 {
+		effConc = runtime.GOMAXPROCS(0)
+	}
+	capacity := float64(effConc) / baseMean.Seconds()
+	fmt.Printf("overload: n=%d d=%d d'=%d k=%d maxconcurrent=%d maxqueue=%d chaos=%g\n",
+		len(vecs), cfg.d, dprime, k, effConc, cfg.maxQueue, cfg.chaos)
+	fmt.Printf("baseline: mean=%v p99=%v -> capacity ~%.0f qps\n",
+		baseMean.Round(time.Microsecond), baseP99.Round(time.Microsecond), capacity)
+
+	chaosOn.Store(cfg.chaos > 0)
+	report := &overloadReport{
+		N: len(vecs), D: cfg.d, DPrime: dprime, K: k,
+		MaxConcurrent: effConc, MaxQueue: cfg.maxQueue, Chaos: cfg.chaos,
+		BaseMeanNS: int64(baseMean), BaseP99NS: int64(baseP99), CapacityQPS: capacity,
+	}
+
+	// Client deadline: generous against the uncontended p99, so only
+	// gate pressure (not the baseline spread) degrades or sheds.
+	clientDeadline := 20 * baseP99
+	if clientDeadline < 10*time.Millisecond {
+		clientDeadline = 10 * time.Millisecond
+	}
+
+	for _, mult := range []float64{1, 2, 5, 10} {
+		rate := capacity * mult
+		interval := time.Duration(float64(time.Second) / rate)
+		arrivals := cfg.queries
+		// Bound each level's wall time: at least enough arrivals to see
+		// steady state, at most ~2s of offered load.
+		if maxArr := int(2 * rate); arrivals > maxArr && maxArr > 20 {
+			arrivals = maxArr
+		}
+		var (
+			wg       sync.WaitGroup
+			okN      atomic.Int64
+			degrN    atomic.Int64
+			shedN    atomic.Int64
+			intN     atomic.Int64
+			otherN   atomic.Int64
+			mu       sync.Mutex
+			admitted []time.Duration
+			shedLats []time.Duration
+		)
+		fire := func(a int) {
+			q := queries[a%len(queries)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), clientDeadline)
+				defer cancel()
+				t0 := time.Now()
+				ans, err := gate.KNN(ctx, q, k)
+				lat := time.Since(t0)
+				switch {
+				case err == nil && ans != nil && !ans.Degraded:
+					okN.Add(1)
+					mu.Lock()
+					admitted = append(admitted, lat)
+					mu.Unlock()
+				case err == nil && ans != nil && ans.Degraded:
+					degrN.Add(1)
+					mu.Lock()
+					admitted = append(admitted, lat)
+					mu.Unlock()
+				case errors.Is(err, emdsearch.ErrOverloaded):
+					shedN.Add(1)
+					mu.Lock()
+					shedLats = append(shedLats, lat)
+					mu.Unlock()
+				case errors.Is(err, emdsearch.ErrInternal):
+					intN.Add(1)
+				case ans != nil && ans.Degraded:
+					// Caller-deadline degradation: certified partial
+					// answer with ctx.Err attached. Still goodput-ish,
+					// counted as degraded.
+					degrN.Add(1)
+				default:
+					otherN.Add(1)
+				}
+			}()
+		}
+		// Open loop against an absolute schedule: arrival a is due at
+		// levelStart + a*interval regardless of how the server is doing.
+		// When the OS timer overshoots a sub-millisecond sleep, every
+		// arrival that became due meanwhile fires as a burst, so the
+		// offered rate holds even at intervals below timer granularity.
+		levelStart := time.Now()
+		for a := 0; a < arrivals; {
+			due := int(time.Since(levelStart)/interval) + 1
+			if due > arrivals {
+				due = arrivals
+			}
+			for ; a < due; a++ {
+				fire(a)
+			}
+			if a < arrivals {
+				if d := time.Until(levelStart.Add(time.Duration(a) * interval)); d > 0 {
+					time.Sleep(d)
+				}
+			}
+		}
+		wg.Wait()
+		elapsed := time.Since(levelStart)
+
+		pct := func(ls []time.Duration, p float64) time.Duration {
+			if len(ls) == 0 {
+				return 0
+			}
+			sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+			return ls[int(p*float64(len(ls)-1))]
+		}
+		lv := overloadLevel{
+			Multiplier: mult,
+			OfferedQPS: rate,
+			Submitted:  arrivals,
+			OK:         int(okN.Load()),
+			Degraded:   int(degrN.Load()),
+			Shed:       int(shedN.Load()),
+			Internal:   int(intN.Load()),
+			OtherErr:   int(otherN.Load()),
+			GoodputQPS: float64(okN.Load()+degrN.Load()) / elapsed.Seconds(),
+			AdmitP50NS: int64(pct(admitted, 0.50)),
+			AdmitP99NS: int64(pct(admitted, 0.99)),
+			ShedP99NS:  int64(pct(shedLats, 0.99)),
+			ElapsedNS:  int64(elapsed),
+		}
+		resolved := lv.OK + lv.Degraded + lv.Shed + lv.Internal + lv.OtherErr
+		fmt.Printf("load %4.0fx (%6.0f qps offered): ok=%-5d degraded=%-4d shed=%-5d internal=%-3d other=%-3d goodput=%6.0f qps admit_p50=%v admit_p99=%v shed_p99=%v\n",
+			mult, rate, lv.OK, lv.Degraded, lv.Shed, lv.Internal, lv.OtherErr,
+			lv.GoodputQPS,
+			time.Duration(lv.AdmitP50NS).Round(time.Microsecond),
+			time.Duration(lv.AdmitP99NS).Round(time.Microsecond),
+			time.Duration(lv.ShedP99NS).Round(time.Microsecond))
+		if resolved != arrivals {
+			return fmt.Errorf("overload sweep dropped queries: %d submitted, %d resolved", arrivals, resolved)
+		}
+		report.Levels = append(report.Levels, lv)
+	}
+
+	report.Gate = gate.Metrics()
+	fmt.Printf("gate: admitted=%d queued=%d shed=%d degraded=%d internal_faults=%d breaker=%s trips=%d est_service=%v\n",
+		report.Gate.Admitted, report.Gate.Queued, report.Gate.Shed, report.Gate.Degraded,
+		report.Gate.InternalFaults, report.Gate.BreakerState, report.Gate.BreakerTrips,
+		report.Gate.EstServiceTime.Round(time.Microsecond))
+	m := eng.Metrics()
+	fmt.Printf("engine: knn=%d errors=%d degraded=%d panics=%d\n",
+		m.KNNQueries, m.QueryErrors, m.QueriesDeadlineDegraded, m.QueryPanics)
+
+	if cfg.out != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", cfg.out)
+	}
+	return nil
+}

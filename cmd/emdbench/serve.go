@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,6 +26,41 @@ type serveConfig struct {
 	// wal, when non-empty, attaches a write-ahead log at that path, so
 	// the background writer's Adds each pay a durable fsynced append.
 	wal string
+	// gate routes every query through an admission Gate so closed-loop
+	// serving exercises the limiter and breaker paths.
+	gate bool
+	// overload switches serve into the open-loop overload sweep
+	// (runOverload) instead of the closed-loop benchmark.
+	overload bool
+	// chaos is the per-refinement probability of an injected solver
+	// panic (and 2x that of an injected slow solve); 0 disables.
+	chaos float64
+	// maxConcurrent / maxQueue size the admission gate; zero means the
+	// gate defaults (GOMAXPROCS / 2x).
+	maxConcurrent, maxQueue int
+	// out, when non-empty, is where the overload sweep writes its JSON
+	// report.
+	out string
+}
+
+// reopenWALBackoff heals a broken write-ahead log with capped
+// exponential backoff: ReopenWAL retries at 1ms, 2ms, 4ms ... capped
+// at 256ms, for up to attempts tries. It returns nil as soon as one
+// reopen succeeds, otherwise the last error.
+func reopenWALBackoff(eng *emdsearch.Engine, attempts int) error {
+	delay := time.Millisecond
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = eng.ReopenWAL(); err == nil {
+			return nil
+		}
+		time.Sleep(delay)
+		delay *= 2
+		if delay > 256*time.Millisecond {
+			delay = 256 * time.Millisecond
+		}
+	}
+	return err
 }
 
 // runServe benchmarks the engine as a concurrent query server: it
@@ -84,8 +120,18 @@ func runServe(cfg serveConfig) error {
 			len(vecs), cfg.d, dprime, cfg.queries, cfg.concurrency, cfg.workers)
 	}
 
+	var gate *emdsearch.Gate
+	if cfg.gate {
+		gate = emdsearch.NewGate(eng, emdsearch.GateOptions{
+			MaxConcurrent: cfg.maxConcurrent,
+			MaxQueue:      cfg.maxQueue,
+		})
+	}
+
 	// Background writer: one Add per millisecond, forcing snapshot
-	// rebuilds under load the way a live ingest would.
+	// rebuilds under load the way a live ingest would. A broken WAL is
+	// healed in place with capped-backoff reopens instead of killing
+	// the writer.
 	stopWriter := make(chan struct{})
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -99,6 +145,13 @@ func runServe(cfg serveConfig) error {
 				return
 			case <-tick.C:
 				if _, err := eng.Add("ingest", vecs[i%len(vecs)]); err != nil {
+					if errors.Is(err, emdsearch.ErrWALBroken) {
+						if rerr := reopenWALBackoff(eng, 10); rerr != nil {
+							fmt.Printf("serve: WAL stayed broken after backoff: %v\n", rerr)
+							return
+						}
+						continue
+					}
 					return
 				}
 			}
@@ -109,6 +162,7 @@ func runServe(cfg serveConfig) error {
 		next     int64
 		degraded int64
 		anytime  int64 // certified items carried by degraded answers
+		shed     int64 // gate mode: queries rejected with ErrOverloaded
 		wg       sync.WaitGroup
 	)
 	// Per-query latencies, indexed by query number: lock-free writes,
@@ -126,7 +180,26 @@ func runServe(cfg serveConfig) error {
 				}
 				q := queries[qi%int64(len(queries))]
 				t0 := time.Now()
-				if cfg.timeout > 0 {
+				switch {
+				case gate != nil:
+					ctx := context.Background()
+					cancel := context.CancelFunc(func() {})
+					if cfg.timeout > 0 {
+						ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+					}
+					ans, err := gate.KNN(ctx, q, 10)
+					cancel()
+					switch {
+					case errors.Is(err, emdsearch.ErrOverloaded):
+						atomic.AddInt64(&shed, 1)
+					case err != nil && ans == nil:
+						fmt.Printf("serve: query error: %v\n", err)
+						return
+					case ans.Degraded:
+						atomic.AddInt64(&degraded, 1)
+						atomic.AddInt64(&anytime, int64(len(ans.Anytime)))
+					}
+				case cfg.timeout > 0:
 					ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 					ans, err := eng.KNNCtx(ctx, q, 10)
 					cancel()
@@ -138,9 +211,11 @@ func runServe(cfg serveConfig) error {
 						atomic.AddInt64(&degraded, 1)
 						atomic.AddInt64(&anytime, int64(len(ans.Anytime)))
 					}
-				} else if _, _, err := eng.KNN(q, 10); err != nil {
-					fmt.Printf("serve: query error: %v\n", err)
-					return
+				default:
+					if _, _, err := eng.KNN(q, 10); err != nil {
+						fmt.Printf("serve: query error: %v\n", err)
+						return
+					}
 				}
 				latencies[qi] = time.Since(t0)
 			}
@@ -166,9 +241,15 @@ func runServe(cfg serveConfig) error {
 		cfg.queries, elapsed.Round(time.Millisecond), qps, meanLat.Round(time.Microsecond))
 	fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n",
 		pct(0.50), pct(0.95), pct(0.99), pct(1.0))
-	if cfg.timeout > 0 {
+	if cfg.timeout > 0 || gate != nil {
 		fmt.Printf("deadline: %d/%d queries degraded (%.1f%%), %d certified anytime items returned\n",
 			degraded, cfg.queries, 100*float64(degraded)/float64(cfg.queries), anytime)
+	}
+	if gate != nil {
+		gm := gate.Metrics()
+		fmt.Printf("gate: admitted=%d queued=%d shed=%d (client-observed shed=%d) degraded=%d breaker=%s est_service=%v\n",
+			gm.Admitted, gm.Queued, gm.Shed, shed, gm.Degraded, gm.BreakerState,
+			gm.EstServiceTime.Round(time.Microsecond))
 	}
 
 	m := eng.Metrics()

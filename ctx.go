@@ -2,7 +2,6 @@ package emdsearch
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"sort"
 
@@ -60,7 +59,7 @@ type KNNAnswer struct {
 // the degraded result. With a context that can never be cancelled
 // (context.Background()) the path and results are identical to KNN's.
 func (e *Engine) KNNCtx(ctx context.Context, q Histogram, k int) (*KNNAnswer, error) {
-	if err := e.validateQuery(q); err != nil {
+	if err := e.validateKNN(q, k); err != nil {
 		e.metrics.queryError()
 		return nil, err
 	}
@@ -79,9 +78,10 @@ func (e *Engine) KNNCtx(ctx context.Context, q Histogram, k int) (*KNNAnswer, er
 // before refinement, so rejected items never cost an exact solve.
 func (e *Engine) KNNWhereCtx(ctx context.Context, q Histogram, k int, pred func(index int) bool) (*KNNAnswer, error) {
 	if pred == nil {
-		return nil, fmt.Errorf("emdsearch: nil predicate")
+		e.metrics.queryError()
+		return nil, badQueryf("nil predicate")
 	}
-	if err := e.validateQuery(q); err != nil {
+	if err := e.validateKNN(q, k); err != nil {
 		e.metrics.queryError()
 		return nil, err
 	}
@@ -99,7 +99,7 @@ func (e *Engine) KNNWhereCtx(ctx context.Context, q Histogram, k int, pred func(
 // state consistent with the ranking it filters, even while concurrent
 // Add or Build calls mutate the live store.
 func (e *Engine) KNNWithLabelCtx(ctx context.Context, q Histogram, k int, label string) (*KNNAnswer, error) {
-	if err := e.validateQuery(q); err != nil {
+	if err := e.validateKNN(q, k); err != nil {
 		e.metrics.queryError()
 		return nil, err
 	}
@@ -132,7 +132,7 @@ func (e *Engine) knnCtxOnSnap(ctx context.Context, s *snapshot, q Histogram, k i
 	}
 	if err != nil {
 		e.metrics.queryError()
-		return nil, err
+		return nil, e.internalErr("knn", err)
 	}
 	// Soft-deleted items surface with infinite distance when fewer
 	// than k live items remain; drop them.
@@ -204,7 +204,7 @@ func (s *snapshot) assembleAnytime(q Histogram, confirmed []Result, pending []se
 // true and ctx's error. With context.Background() the path and
 // results are identical to Range's.
 func (e *Engine) RangeCtx(ctx context.Context, q Histogram, eps float64) ([]Result, *QueryStats, error) {
-	if err := e.validateQuery(q); err != nil {
+	if err := e.validateRange(q, eps); err != nil {
 		e.metrics.queryError()
 		return nil, nil, err
 	}
@@ -221,7 +221,7 @@ func (e *Engine) RangeCtx(ctx context.Context, q Histogram, eps float64) ([]Resu
 	results, stats, err := s.searcher.RangeCtx(ctx, q, eps, nil)
 	if err != nil {
 		e.metrics.queryError()
-		return nil, nil, err
+		return nil, nil, e.internalErr("range", err)
 	}
 	e.metrics.observe(metricRange, stats)
 	if stats.Cancelled {
@@ -247,10 +247,10 @@ type BatchCtxResult struct {
 // snapshot semantics.
 func (e *Engine) BatchKNNCtx(ctx context.Context, queries []Histogram, k, workers int) ([]BatchCtxResult, error) {
 	if len(queries) == 0 {
-		return nil, fmt.Errorf("emdsearch: empty batch")
+		return nil, badQueryf("empty batch")
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("emdsearch: k = %d, want >= 1", k)
+		return nil, badQueryf("k = %d, want >= 1", k)
 	}
 	out := make([]BatchCtxResult, len(queries))
 	runBatch(queries, workers, func(qi int) {
@@ -318,7 +318,7 @@ func (e *Engine) DistanceCtx(ctx context.Context, q Histogram, i int) (float64, 
 	if i < 0 || i >= e.store.Len() {
 		n := e.store.Len()
 		e.mu.RUnlock()
-		return 0, fmt.Errorf("emdsearch: Distance(%d): index out of range [0, %d)", i, n)
+		return 0, badQueryf("Distance(%d): index out of range [0, %d)", i, n)
 	}
 	v := e.store.Vector(i)
 	e.mu.RUnlock()

@@ -102,6 +102,15 @@ type Options struct {
 	// Seed drives all randomized components; the default 0 is a valid
 	// fixed seed, so runs are reproducible unless the caller varies it.
 	Seed int64
+	// RefineHook, when set, is invoked at the start of every exact
+	// refinement with the candidate's database index. It exists for
+	// fault injection and chaos testing: a hook that panics exercises
+	// the engine's panic containment exactly as a solver invariant
+	// failure would (the query fails with ErrInternal; the process and
+	// other queries are unaffected), and a hook that sleeps simulates a
+	// slow solve. It runs on refinement worker goroutines and must be
+	// safe for concurrent use. Leave nil in production.
+	RefineHook func(index int)
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +177,10 @@ type snapshot struct {
 	redUpper    *core.ReducedEMDUpper
 	reducedVecs []Histogram // finest-level reduced database vectors
 
+	// hook is Options.RefineHook, captured at build time; nil outside
+	// fault-injection runs.
+	hook func(index int)
+
 	// greedy hands out per-goroutine clones of the greedy-flow upper
 	// bound (its scratch buffer is not safe for concurrent use).
 	greedy sync.Pool
@@ -181,6 +194,9 @@ func (s *snapshot) refine(q Histogram, i int) float64 {
 	if s.deleted[i] {
 		return math.Inf(1)
 	}
+	if s.hook != nil {
+		s.hook(i)
+	}
 	return s.dist.Distance(q, s.vectors[i])
 }
 
@@ -190,6 +206,9 @@ func (s *snapshot) refine(q Histogram, i int) float64 {
 func (s *snapshot) refineBounded(q Histogram, i int, abortAbove float64) search.Refinement {
 	if s.deleted[i] {
 		return search.Refinement{Dist: math.Inf(1)}
+	}
+	if s.hook != nil {
+		s.hook(i)
 	}
 	r := s.dist.DistanceBounded(q, s.vectors[i], abortAbove)
 	return search.Refinement{
@@ -210,6 +229,9 @@ func (s *snapshot) refineBoundedIntr(q Histogram, i int, abortAbove float64, int
 	if s.deleted[i] {
 		return search.Refinement{Dist: math.Inf(1)}
 	}
+	if s.hook != nil {
+		s.hook(i)
+	}
 	r := s.dist.DistanceBoundedIntr(q, s.vectors[i], abortAbove, intr)
 	return search.Refinement{
 		Dist:        r.Value,
@@ -227,6 +249,9 @@ func (s *snapshot) refineBoundedIntr(q Histogram, i int, abortAbove float64, int
 func (s *snapshot) refineUnbounded(q Histogram, i int) float64 {
 	if s.deleted[i] {
 		return math.Inf(1)
+	}
+	if s.hook != nil {
+		s.hook(i)
 	}
 	d, err := s.dist.DistanceValidated(q, s.vectors[i])
 	if err != nil {
@@ -561,6 +586,7 @@ func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 		dist:    e.dist,
 		dim:     e.store.Dim(),
 		red:     e.red,
+		hook:    e.opts.RefineHook,
 	}
 	greedyBase, err := lb.NewGreedyUpper(e.cost)
 	if err != nil {
@@ -708,15 +734,33 @@ func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 }
 
 // validateQuery checks a query histogram against the engine's
-// dimensionality.
+// dimensionality. Failures wrap ErrBadQuery.
 func (e *Engine) validateQuery(q Histogram) error {
 	if err := emd.Validate(q); err != nil {
-		return fmt.Errorf("emdsearch: query: %w", err)
+		return fmt.Errorf("%w: %w", ErrBadQuery, err)
 	}
 	if len(q) != e.Dim() {
-		return fmt.Errorf("emdsearch: query has %d dimensions, index stores %d", len(q), e.Dim())
+		return badQueryf("query has %d dimensions, index stores %d", len(q), e.Dim())
 	}
 	return nil
+}
+
+// validateKNN validates a k-NN query's inputs; failures wrap
+// ErrBadQuery. Every public k-NN entry point goes through it.
+func (e *Engine) validateKNN(q Histogram, k int) error {
+	if k < 1 {
+		return badQueryf("k = %d, want >= 1", k)
+	}
+	return e.validateQuery(q)
+}
+
+// validateRange validates a range query's inputs; failures wrap
+// ErrBadQuery. Every public range entry point goes through it.
+func (e *Engine) validateRange(q Histogram, eps float64) error {
+	if eps < 0 || math.IsNaN(eps) {
+		return badQueryf("eps = %g, want >= 0", eps)
+	}
+	return e.validateQuery(q)
 }
 
 // KNN returns the k nearest neighbors of q under the exact EMD,
@@ -741,19 +785,27 @@ func (e *Engine) Range(q Histogram, eps float64) ([]Result, *QueryStats, error) 
 
 // Distance computes the exact EMD between q and indexed item i. It
 // returns an error — rather than panicking — on an invalid query or
-// out-of-range index, matching the rest of the query API.
-func (e *Engine) Distance(q Histogram, i int) (float64, error) {
-	if err := e.validateQuery(q); err != nil {
-		return 0, err
+// out-of-range index (both wrapping ErrBadQuery), matching the rest of
+// the query API; a solver invariant failure surfaces as ErrInternal
+// instead of unwinding into the caller.
+func (e *Engine) Distance(q Histogram, i int) (d float64, err error) {
+	if verr := e.validateQuery(q); verr != nil {
+		return 0, verr
 	}
 	e.mu.RLock()
 	if i < 0 || i >= e.store.Len() {
 		n := e.store.Len()
 		e.mu.RUnlock()
-		return 0, fmt.Errorf("emdsearch: Distance(%d): index out of range [0, %d)", i, n)
+		return 0, badQueryf("Distance(%d): index out of range [0, %d)", i, n)
 	}
 	v := e.store.Vector(i)
 	e.mu.RUnlock()
+	defer func() {
+		if r := recover(); r != nil {
+			e.metrics.queryPanicked()
+			err = &InternalError{Op: "distance", Index: i, Value: r}
+		}
+	}()
 	return e.dist.Distance(q, v), nil
 }
 

@@ -35,7 +35,7 @@ func (e *Engine) epsilonForCount(ctx context.Context, q Histogram, count int) (f
 	}
 	live := len(s.vectors) - len(s.deleted)
 	if count < 1 || count > live {
-		return 0, fmt.Errorf("emdsearch: count %d out of range [1, %d]", count, live)
+		return 0, badQueryf("count %d out of range [1, %d]", count, live)
 	}
 	if s.red == nil {
 		return 0, fmt.Errorf("emdsearch: EpsilonForCount needs a built reduction (set ReducedDims and call Build)")
@@ -74,7 +74,7 @@ func (e *Engine) distanceDistribution(ctx context.Context, q Histogram, sampleSi
 		return nil, err
 	}
 	if sampleSize < 1 {
-		return nil, fmt.Errorf("emdsearch: sample size %d, want >= 1", sampleSize)
+		return nil, badQueryf("sample size %d, want >= 1", sampleSize)
 	}
 	s, err := e.snapshot()
 	if err != nil {
@@ -118,7 +118,8 @@ func (e *Engine) RangeIDs(q Histogram, eps float64) ([]int, error) {
 }
 
 func (e *Engine) rangeIDs(ctx context.Context, q Histogram, eps float64) ([]int, error) {
-	if err := e.validateQuery(q); err != nil {
+	if err := e.validateRange(q, eps); err != nil {
+		e.metrics.queryError()
 		return nil, err
 	}
 	s, err := e.snapshot()
@@ -167,7 +168,8 @@ func (e *Engine) rangeIDs(ctx context.Context, q Histogram, eps float64) ([]int,
 		},
 		eps, s.searcher.Workers, cancel)
 	if err != nil {
-		return nil, err
+		e.metrics.queryError()
+		return nil, e.internalErr("rangeids", err)
 	}
 	e.metrics.observeRangeIDs(st)
 	if st.Cancelled {

@@ -1,0 +1,506 @@
+package emdsearch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chaosEngine builds a small engine whose refinements panic while
+// *panics is true — the injected solver-invariant failure every
+// containment test needs. The hook reads the flag atomically, so tests
+// can flip faults on and off mid-run without rebuilding the engine.
+func chaosEngine(t *testing.T, n, d, workers int, panics *atomic.Bool) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	eng, err := NewEngine(LinearCost(d), Options{
+		ReducedDims: 2,
+		Workers:     workers,
+		Seed:        1,
+		RefineHook: func(index int) {
+			if panics.Load() {
+				panic(fmt.Sprintf("injected solver fault refining item %d", index))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := eng.Add(fmt.Sprintf("item-%d", i), randHist(rng, d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestBadQueryAllEntryPoints drives every public query entry point —
+// engine and gate — with each class of malformed input and asserts the
+// uniform contract: the error wraps ErrBadQuery, nothing panics, and
+// nothing is silently accepted.
+func TestBadQueryAllEntryPoints(t *testing.T) {
+	var off atomic.Bool
+	eng := chaosEngine(t, 30, 4, 1, &off)
+	gate := NewGate(eng, GateOptions{})
+	ctx := context.Background()
+	good := Histogram{0.25, 0.25, 0.25, 0.25}
+	short := Histogram{0.5, 0.5}
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"KNN/wrong-dim", func() error { _, _, err := eng.KNN(short, 3); return err }},
+		{"KNN/k=0", func() error { _, _, err := eng.KNN(good, 0); return err }},
+		{"KNNCtx/wrong-dim", func() error { _, err := eng.KNNCtx(ctx, short, 3); return err }},
+		{"KNNCtx/k=-1", func() error { _, err := eng.KNNCtx(ctx, good, -1); return err }},
+		{"KNNWhere/nil-pred", func() error { _, _, err := eng.KNNWhere(good, 3, nil); return err }},
+		{"KNNWhereCtx/nil-pred", func() error { _, err := eng.KNNWhereCtx(ctx, good, 3, nil); return err }},
+		{"KNNWithLabel/wrong-dim", func() error { _, _, err := eng.KNNWithLabel(short, 3, "item-1"); return err }},
+		{"Range/negative-eps", func() error { _, _, err := eng.Range(good, -1); return err }},
+		{"Range/nan-eps", func() error { _, _, err := eng.Range(good, math.NaN()); return err }},
+		{"RangeCtx/wrong-dim", func() error { _, _, err := eng.RangeCtx(ctx, short, 1); return err }},
+		{"RangeIDs/negative-eps", func() error { _, err := eng.RangeIDs(good, -1); return err }},
+		{"RangeIDsCtx/wrong-dim", func() error { _, err := eng.RangeIDsCtx(ctx, short, 1); return err }},
+		{"BatchKNN/empty", func() error { _, err := eng.BatchKNN(nil, 3, 1); return err }},
+		{"BatchKNN/k=0", func() error { _, err := eng.BatchKNN([]Histogram{good}, 0, 1); return err }},
+		{"BatchKNNCtx/empty", func() error { _, err := eng.BatchKNNCtx(ctx, nil, 3, 1); return err }},
+		{"Distance/out-of-range", func() error { _, err := eng.Distance(good, 10_000); return err }},
+		{"Distance/negative-index", func() error { _, err := eng.Distance(good, -1); return err }},
+		{"DistanceCtx/wrong-dim", func() error { _, err := eng.DistanceCtx(ctx, short, 0); return err }},
+		{"Gate.KNN/wrong-dim", func() error { _, err := gate.KNN(ctx, short, 3); return err }},
+		{"Gate.KNN/k=0", func() error { _, err := gate.KNN(ctx, good, 0); return err }},
+		{"Gate.Range/negative-eps", func() error { _, _, err := gate.Range(ctx, good, -1); return err }},
+		{"Gate.RangeIDs/wrong-dim", func() error { _, err := gate.RangeIDs(ctx, short, 1); return err }},
+		{"Gate.BatchKNN/empty", func() error { _, err := gate.BatchKNN(ctx, nil, 3, 1); return err }},
+		{"Gate.BatchKNN/k=0", func() error { _, err := gate.BatchKNN(ctx, []Histogram{good}, 0, 1); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			if err == nil {
+				t.Fatal("malformed query accepted")
+			}
+			if !errors.Is(err, ErrBadQuery) {
+				t.Fatalf("err = %v, does not wrap ErrBadQuery", err)
+			}
+		})
+	}
+	// A malformed query inside an otherwise valid batch surfaces on
+	// that entry only, also as ErrBadQuery.
+	res, err := eng.BatchKNN([]Histogram{good, short}, 3, 2)
+	if err != nil {
+		t.Fatalf("batch with one bad query failed wholesale: %v", err)
+	}
+	if res[0].Err != nil {
+		t.Fatalf("good batch entry errored: %v", res[0].Err)
+	}
+	if !errors.Is(res[1].Err, ErrBadQuery) {
+		t.Fatalf("bad batch entry err = %v, want ErrBadQuery", res[1].Err)
+	}
+}
+
+// TestPanicContainment proves a solver panic mid-refinement neither
+// unwinds into the caller nor poisons the engine: the query fails with
+// a typed ErrInternal carrying the faulting item and stack, the panic
+// metric ticks, and the very next query (fault off) succeeds — in both
+// the sequential and the parallel refinement paths.
+func TestPanicContainment(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var panics atomic.Bool
+			eng := chaosEngine(t, 40, 4, workers, &panics)
+			rng := rand.New(rand.NewSource(2))
+			q := randHist(rng, 4)
+
+			panics.Store(true)
+			_, _, err := eng.KNN(q, 5)
+			if !errors.Is(err, ErrInternal) {
+				t.Fatalf("KNN during fault: err = %v, want ErrInternal", err)
+			}
+			var ie *InternalError
+			if !errors.As(err, &ie) {
+				t.Fatalf("err = %v, not an *InternalError", err)
+			}
+			if ie.Index < 0 || len(ie.Stack) == 0 {
+				t.Fatalf("InternalError missing context: index=%d stack=%dB", ie.Index, len(ie.Stack))
+			}
+			if _, _, err := eng.Range(q, 0.5); !errors.Is(err, ErrInternal) {
+				t.Fatalf("Range during fault: err = %v, want ErrInternal", err)
+			}
+
+			panics.Store(false)
+			res, _, err := eng.KNN(q, 5)
+			if err != nil {
+				t.Fatalf("KNN after fault cleared: %v", err)
+			}
+			if len(res) != 5 {
+				t.Fatalf("KNN after fault returned %d results, want 5", len(res))
+			}
+			if eng.Metrics().QueryPanics == 0 {
+				t.Fatal("QueryPanics metric did not tick")
+			}
+		})
+	}
+}
+
+// TestChaosBitIdentity is the corruption check behind the containment
+// claim: after injected panics are drained, a chaos engine's answers
+// are bit-identical (index and float bit pattern) to a never-faulted
+// engine built from the same data — a contained panic leaves no
+// residue in pooled solver state or the snapshot pipeline.
+func TestChaosBitIdentity(t *testing.T) {
+	var never atomic.Bool
+	clean := chaosEngine(t, 50, 4, 2, &never)
+
+	var panics atomic.Bool
+	chaotic := chaosEngine(t, 50, 4, 2, &panics)
+
+	rng := rand.New(rand.NewSource(3))
+	sawFault := false
+	for qi := 0; qi < 10; qi++ {
+		q := randHist(rng, 4)
+		want, _, err := clean.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fault the first attempts, then let a retry through — the
+		// client-visible shape of a transient solver bug.
+		panics.Store(true)
+		if _, _, err := chaotic.KNN(q, 5); errors.Is(err, ErrInternal) {
+			sawFault = true
+		}
+		panics.Store(false)
+		got, _, err := chaotic.KNN(q, 5)
+		if err != nil {
+			t.Fatalf("query %d after fault: %v", qi, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Index != want[i].Index ||
+				math.Float64bits(got[i].Dist) != math.Float64bits(want[i].Dist) {
+				t.Fatalf("query %d result %d: got (%d, %x) want (%d, %x) — fault residue",
+					qi, i, got[i].Index, math.Float64bits(got[i].Dist),
+					want[i].Index, math.Float64bits(want[i].Dist))
+			}
+		}
+	}
+	if !sawFault {
+		t.Fatal("chaos injection never fired; test proves nothing")
+	}
+}
+
+// TestBreakerTripsAndRecovers walks the full breaker lifecycle:
+// repeated injected faults trip it open, open-state k-NN serves
+// certified lower-bound-only answers with zero exact solves while
+// range queries shed with a typed overload error, and after the
+// cooldown a clean probe closes it and exact serving resumes.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	var panics atomic.Bool
+	eng := chaosEngine(t, 40, 4, 1, &panics)
+	gate := NewGate(eng, GateOptions{
+		BreakerThreshold: 2,
+		BreakerCooldown:  30 * time.Millisecond,
+	})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(4))
+	q := randHist(rng, 4)
+
+	panics.Store(true)
+	for i := 0; i < 2; i++ {
+		if _, err := gate.KNN(ctx, q, 5); !errors.Is(err, ErrInternal) {
+			t.Fatalf("fault %d: err = %v, want ErrInternal", i, err)
+		}
+	}
+	if st := gate.BreakerState(); st != "open" {
+		t.Fatalf("breaker %s after %d faults, want open", st, 2)
+	}
+
+	// Open: k-NN degrades to certified LB-only answers — no exact
+	// solves, so the still-faulting hook cannot fire.
+	ans, err := gate.KNN(ctx, q, 5)
+	if err != nil {
+		t.Fatalf("KNN with breaker open: %v", err)
+	}
+	if !ans.Degraded || len(ans.Anytime) == 0 {
+		t.Fatalf("breaker-open answer degraded=%v anytime=%d, want certified degraded items", ans.Degraded, len(ans.Anytime))
+	}
+	for i, it := range ans.Anytime {
+		if it.Refined {
+			t.Fatalf("breaker-open item %d claims exact refinement", i)
+		}
+		if it.Lower > it.Upper {
+			t.Fatalf("item %d certificate inverted: [%g, %g]", i, it.Lower, it.Upper)
+		}
+	}
+	// Open: range queries have no solve-free form, so they shed.
+	if _, _, err := gate.Range(ctx, q, 0.5); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Range with breaker open: err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	_, _, err = gate.Range(ctx, q, 0.5)
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+		t.Fatalf("breaker-open shed carries no retry-after: %v", err)
+	}
+
+	// Heal the solver, wait out the cooldown: the next query is the
+	// half-open probe, its success closes the breaker.
+	panics.Store(false)
+	time.Sleep(40 * time.Millisecond)
+	ans, err = gate.KNN(ctx, q, 5)
+	if err != nil {
+		t.Fatalf("probe query: %v", err)
+	}
+	if ans.Degraded {
+		t.Fatal("probe query degraded, want exact")
+	}
+	if st := gate.BreakerState(); st != "closed" {
+		t.Fatalf("breaker %s after clean probe, want closed", st)
+	}
+	if got := gate.Metrics().BreakerTrips; got != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", got)
+	}
+}
+
+// TestGateChaosUnderMutation is the race harness for the whole
+// overload layer: gate-admitted KNN, Range and BatchKNN run against
+// concurrent Add, Delete and Checkpoint with randomly injected solver
+// panics, and every single query must resolve to exactly one of a
+// full result, a certified degraded answer, or a typed error. Run
+// with -race in CI.
+func TestGateChaosUnderMutation(t *testing.T) {
+	var ctr atomic.Uint64
+	var chaos atomic.Bool
+	rng := rand.New(rand.NewSource(5))
+	const d = 4
+	eng, err := NewEngine(LinearCost(d), Options{
+		ReducedDims: 2,
+		Workers:     2,
+		Seed:        1,
+		RefineHook: func(index int) {
+			// Deterministic sparse faults: roughly 1 in 50 refinements
+			// panics once chaos is on.
+			if chaos.Load() && ctr.Add(1)%50 == 0 {
+				panic(fmt.Sprintf("chaos fault on item %d", index))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := eng.Add(fmt.Sprintf("seed-%d", i), randHist(rng, d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	gate := NewGate(eng, GateOptions{
+		MaxConcurrent:    4,
+		MaxQueue:         8,
+		BreakerThreshold: 3,
+		BreakerCooldown:  5 * time.Millisecond,
+	})
+	chaos.Store(true)
+
+	queriesPer := 30
+	clients := 6
+	if testing.Short() {
+		queriesPer, clients = 10, 3
+	}
+	var (
+		wg         sync.WaitGroup
+		unresolved atomic.Int64
+		outcomes   [4]atomic.Int64 // ok, degraded, typed error, shed
+	)
+	classifyKNN := func(ans *KNNAnswer, err error) {
+		switch {
+		case err == nil && ans != nil && !ans.Degraded:
+			outcomes[0].Add(1)
+		case ans != nil && ans.Degraded:
+			outcomes[1].Add(1)
+		case errors.Is(err, ErrOverloaded):
+			outcomes[3].Add(1)
+		case errors.Is(err, ErrInternal) || errors.Is(err, ErrBadQuery),
+			errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			outcomes[2].Add(1)
+		default:
+			unresolved.Add(1)
+		}
+	}
+	stopMut := make(chan struct{})
+	var mutWG sync.WaitGroup
+	mutWG.Add(1)
+	go func() {
+		defer mutWG.Done()
+		mrng := rand.New(rand.NewSource(6))
+		dir := t.TempDir()
+		for i := 0; ; i++ {
+			select {
+			case <-stopMut:
+				return
+			default:
+			}
+			switch i % 7 {
+			case 3:
+				_ = eng.Delete(mrng.Intn(eng.Len()))
+			case 5:
+				_ = eng.Checkpoint(filepath.Join(dir, "ck"))
+			default:
+				if _, err := eng.Add("mut", randHist(mrng, d)); err != nil {
+					t.Errorf("mutation add: %v", err)
+					return
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			qrng := rand.New(rand.NewSource(int64(100 + c)))
+			for i := 0; i < queriesPer; i++ {
+				q := randHist(qrng, d)
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				switch i % 3 {
+				case 0:
+					classifyKNN(gate.KNN(ctx, q, 5))
+				case 1:
+					res, _, err := gate.Range(ctx, q, 0.3)
+					switch {
+					case err == nil:
+						outcomes[0].Add(1)
+						_ = res
+					case errors.Is(err, ErrOverloaded):
+						outcomes[3].Add(1)
+					case errors.Is(err, ErrInternal), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+						outcomes[2].Add(1)
+					default:
+						unresolved.Add(1)
+					}
+				case 2:
+					batch, err := gate.BatchKNN(ctx, []Histogram{q, randHist(qrng, d)}, 3, 2)
+					if err != nil {
+						if errors.Is(err, ErrOverloaded) {
+							outcomes[3].Add(1)
+						} else {
+							unresolved.Add(1)
+						}
+						cancel()
+						continue
+					}
+					for _, br := range batch {
+						classifyKNN(br.Answer, br.Err)
+					}
+				}
+				cancel()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stopMut)
+	mutWG.Wait()
+
+	if n := unresolved.Load(); n != 0 {
+		t.Fatalf("%d queries resolved to none of {result, degraded answer, typed error}", n)
+	}
+	t.Logf("outcomes: ok=%d degraded=%d typed-error=%d shed=%d breaker=%s trips=%d",
+		outcomes[0].Load(), outcomes[1].Load(), outcomes[2].Load(), outcomes[3].Load(),
+		gate.BreakerState(), gate.Metrics().BreakerTrips)
+	if outcomes[0].Load() == 0 {
+		t.Fatal("no query ever fully succeeded under chaos")
+	}
+}
+
+// TestGateShedsFast pins the load-shedding latency contract: with the
+// only slot and the only queue position deterministically held (a
+// refinement parked on a channel), an incoming query is rejected with
+// a typed OverloadError carrying queue depth, well under a
+// millisecond.
+func TestGateShedsFast(t *testing.T) {
+	var blockOn atomic.Bool
+	unblock := make(chan struct{})
+	rng := rand.New(rand.NewSource(7))
+	const d = 4
+	eng, err := NewEngine(LinearCost(d), Options{
+		ReducedDims: 2,
+		Seed:        1,
+		RefineHook: func(int) {
+			if blockOn.Load() {
+				<-unblock
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := eng.Add("item", randHist(rng, d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	gate := NewGate(eng, GateOptions{MaxConcurrent: 1, MaxQueue: 1})
+	q := randHist(rng, d)
+
+	blockOn.Store(true)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := gate.KNN(context.Background(), q, 5); err != nil {
+				t.Errorf("holder query: %v", err)
+			}
+		}()
+	}
+	// Holder 1 parks inside refinement holding the slot; holder 2 waits
+	// for the slot, filling the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := gate.Metrics()
+		if m.InFlight >= 1 && m.QueueDepth >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("limiter never saturated")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	t0 := time.Now()
+	_, err = gate.KNN(context.Background(), q, 5)
+	lat := time.Since(t0)
+	blockOn.Store(false)
+	close(unblock)
+	wg.Wait()
+
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated gate: err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v, not an *OverloadError", err)
+	}
+	if oe.QueueDepth < 1 {
+		t.Fatalf("OverloadError.QueueDepth = %d, want >= 1", oe.QueueDepth)
+	}
+	if lat > time.Millisecond {
+		t.Fatalf("shed took %v, want < 1ms", lat)
+	}
+}

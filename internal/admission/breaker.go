@@ -1,0 +1,150 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: normal serving; faults are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: too many consecutive faults; callers should serve
+	// the degraded path until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; exactly one probe request is
+	// allowed through the full path to test recovery.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a consecutive-fault circuit breaker guarding the exact
+// refinement path. Contained solver panics feed Fault; after
+// `threshold` consecutive faults the breaker opens and Allow reports
+// false (serve lower-bound-only degraded answers) until `cooldown` has
+// passed, after which a single probe is let through: its Success
+// closes the breaker, its Fault re-opens it for another cooldown.
+// Safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     BreakerState
+	faults    int       // consecutive faults while closed
+	openedAt  time.Time // when the breaker last opened
+	probing   bool      // a half-open probe is in flight
+	trips     int64
+}
+
+// NewBreaker builds a breaker that opens after `threshold` consecutive
+// faults (min 1) and retries after `cooldown` (min 1ms).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown < time.Millisecond {
+		cooldown = time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether the full (exact) path may serve this request.
+// While open, it flips to half-open once the cooldown has elapsed and
+// admits exactly one probe; concurrent requests during the probe are
+// told to degrade.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// Fault records a contained invariant failure on the full path. In the
+// closed state it counts toward the trip threshold; in half-open it
+// re-opens immediately.
+func (b *Breaker) Fault() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.faults++
+		if b.faults >= b.threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerOpen:
+		// Late fault from a request admitted before the trip; already
+		// open, nothing to do.
+	}
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = time.Now()
+	b.faults = 0
+	b.probing = false
+	b.trips++
+}
+
+// Success records a clean full-path completion: it resets the fault
+// streak and, after a successful half-open probe, closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.faults = 0
+	case BreakerHalfOpen:
+		b.state = BreakerClosed
+		b.faults = 0
+		b.probing = false
+	case BreakerOpen:
+		// Straggler from before the trip; the cooldown stands.
+	}
+}
+
+// State reports the current position (open flips to half-open only on
+// the next Allow, so a just-cooled breaker still reads open here).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips counts how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

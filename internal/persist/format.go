@@ -61,6 +61,13 @@ var (
 	// different configuration (dimensionality, ground-distance matrix,
 	// reduction) than the one trying to read it.
 	ErrConfigMismatch = errors.New("persist: configuration mismatch")
+	// ErrWALBroken reports a write-ahead log that has latched broken: a
+	// write or sync failed AND the rollback truncate failed too, so the
+	// file may end in a half-written frame at an unknown position.
+	// Appending past the damage would strand valid records behind an
+	// unreadable frame, so every Append fails with this error until the
+	// log is reopened (the open-time scan truncates the torn tail).
+	ErrWALBroken = errors.New("persist: wal broken")
 
 	// errTorn is the internal classification of an incomplete final
 	// frame: the file ends mid-frame, as a crash during an append

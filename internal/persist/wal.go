@@ -59,9 +59,10 @@ type WALScan struct {
 	MaxAddID int
 }
 
-// walFile is the file surface the WAL needs; *os.File satisfies it and
-// tests substitute fault-injecting implementations.
-type walFile interface {
+// WALFile is the file surface the WAL needs; *os.File satisfies it and
+// tests substitute fault-injecting implementations (see
+// SwapFileForTest).
+type WALFile interface {
 	io.Writer
 	Sync() error
 	Truncate(size int64) error
@@ -80,7 +81,7 @@ type walFile interface {
 // past damage would strand valid records behind an unreadable frame.
 type WAL struct {
 	mu     sync.Mutex
-	f      walFile
+	f      WALFile
 	path   string
 	hdr    WALHeader
 	off    int64 // bytes known good (written and framed completely)
@@ -171,7 +172,7 @@ func (w *WAL) Append(rec WALRecord) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.broken != nil {
-		return fmt.Errorf("persist: wal is broken by an earlier error (recover and reopen): %w", w.broken)
+		return fmt.Errorf("%w by an earlier error (recover and reopen): %w", ErrWALBroken, w.broken)
 	}
 	if w.f == nil {
 		return fmt.Errorf("persist: append to closed wal")
@@ -181,6 +182,7 @@ func (w *WAL) Append(rec WALRecord) error {
 		werr := fmt.Errorf("persist: wal append: %w", err)
 		if terr := w.f.Truncate(w.off); terr != nil {
 			w.broken = werr
+			return fmt.Errorf("%w: %w (rollback truncate also failed: %v)", ErrWALBroken, werr, terr)
 		}
 		return werr
 	}
@@ -190,6 +192,7 @@ func (w *WAL) Append(rec WALRecord) error {
 		werr := fmt.Errorf("persist: wal sync: %w", err)
 		if terr := w.f.Truncate(w.off); terr != nil {
 			w.broken = werr
+			return fmt.Errorf("%w: %w (rollback truncate also failed: %v)", ErrWALBroken, werr, terr)
 		}
 		return werr
 	}
@@ -207,15 +210,36 @@ func (w *WAL) Reset() error {
 	}
 	if err := w.f.Truncate(0); err != nil {
 		w.broken = fmt.Errorf("persist: wal reset: %w", err)
-		return w.broken
+		return fmt.Errorf("%w: %w", ErrWALBroken, w.broken)
 	}
 	w.off = 0
 	if err := w.writePreambleLocked(); err != nil {
 		w.broken = err
-		return err
+		return fmt.Errorf("%w: %w", ErrWALBroken, err)
 	}
 	w.broken = nil
 	return nil
+}
+
+// Broken reports the sticky error that latched the log broken, nil
+// while the log is healthy. A broken log rejects every Append with
+// ErrWALBroken until it is reopened.
+func (w *WAL) Broken() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broken
+}
+
+// SwapFileForTest replaces the log's underlying file with f and
+// returns the previous one. It exists for fault injection: tests swap
+// in a faultio-backed file to drive the WAL into its broken state and
+// exercise recovery, without touching the on-disk file.
+func (w *WAL) SwapFileForTest(f WALFile) WALFile {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	old := w.f
+	w.f = f
+	return old
 }
 
 // Size returns the acknowledged on-disk size of the log.

@@ -228,7 +228,10 @@ func knnBoundedCore(ranking Ranking, refine BoundedRefine, k int, cfg knnConfig)
 		if cfg.pred != nil && !cfg.pred(c.Index) {
 			continue
 		}
-		r := refine(c.Index, threshold)
+		r, rerr := callRefine(refine, c.Index, threshold)
+		if rerr != nil {
+			return nil, nil, nil, rerr
+		}
 		stats.observe(r)
 		if r.Interrupted {
 			// The solve was cut short by the cancel flag: the exact
@@ -291,7 +294,10 @@ func rangeBoundedCore(ranking Ranking, refine BoundedRefine, eps float64, cfg kn
 		if cfg.pred != nil && !cfg.pred(c.Index) {
 			continue
 		}
-		r := refine(c.Index, eps)
+		r, rerr := callRefine(refine, c.Index, eps)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
 		stats.observe(r)
 		if r.Interrupted {
 			stats.Cancelled = true

@@ -157,6 +157,7 @@ func parallelKNNBoundedCore(ranking Ranking, refine BoundedRefine, k, workers in
 	var counters parallelCounters
 	var pending pendingSet
 	var cancelled atomic.Bool
+	var faulted fault
 
 	// The buffer is the dispatch chunk: the feeder can run at most
 	// workers + cap(dispatch) candidates ahead of the slowest refiner.
@@ -167,6 +168,11 @@ func parallelKNNBoundedCore(ranking Ranking, refine BoundedRefine, k, workers in
 		go func() {
 			defer wg.Done()
 			for c := range dispatch {
+				if faulted.Load() {
+					// A sibling worker's solve panicked: the query is
+					// failing with its error; just drain the channel.
+					continue
+				}
 				if cfg.cancelled() {
 					cancelled.Store(true)
 					pending.add(PendingCandidate{Index: c.Index, Lower: c.Dist})
@@ -177,7 +183,11 @@ func parallelKNNBoundedCore(ranking Ranking, refine BoundedRefine, k, workers in
 					atomic.AddInt64(&counters.skipped, 1)
 					continue
 				}
-				r := refine(c.Index, ab)
+				r, rerr := callRefine(refine, c.Index, ab)
+				if rerr != nil {
+					faulted.record(rerr)
+					continue
+				}
 				counters.observe(r)
 				if r.Interrupted {
 					cancelled.Store(true)
@@ -194,6 +204,9 @@ func parallelKNNBoundedCore(ranking Ranking, refine BoundedRefine, k, workers in
 
 	stats := &QueryStats{Workers: workers}
 	for {
+		if faulted.Load() {
+			break
+		}
 		if cfg.cancelled() {
 			cancelled.Store(true)
 			break
@@ -217,6 +230,12 @@ func parallelKNNBoundedCore(ranking Ranking, refine BoundedRefine, k, workers in
 	close(dispatch)
 	wg.Wait()
 
+	if err := faulted.Err(); err != nil {
+		// A refinement panicked: the worker pool drained and exited
+		// cleanly, the query fails with the captured panic as its
+		// error, and no other query sharing the snapshot is affected.
+		return nil, nil, nil, err
+	}
 	counters.flush(stats)
 	stats.Cancelled = cancelled.Load()
 	return neighbors.results, pending.list, stats, nil
@@ -252,6 +271,7 @@ func parallelRangeBoundedCore(ranking Ranking, refine BoundedRefine, eps float64
 		results   []Result
 		counters  parallelCounters
 		cancelled atomic.Bool
+		faulted   fault
 	)
 	dispatch := make(chan Candidate, workers)
 	var wg sync.WaitGroup
@@ -260,11 +280,18 @@ func parallelRangeBoundedCore(ranking Ranking, refine BoundedRefine, eps float64
 		go func() {
 			defer wg.Done()
 			for c := range dispatch {
+				if faulted.Load() {
+					continue
+				}
 				if cfg.cancelled() {
 					cancelled.Store(true)
 					continue
 				}
-				r := refine(c.Index, eps)
+				r, rerr := callRefine(refine, c.Index, eps)
+				if rerr != nil {
+					faulted.record(rerr)
+					continue
+				}
 				counters.observe(r)
 				if r.Interrupted {
 					cancelled.Store(true)
@@ -281,6 +308,9 @@ func parallelRangeBoundedCore(ranking Ranking, refine BoundedRefine, eps float64
 
 	stats := &QueryStats{Workers: workers}
 	for {
+		if faulted.Load() {
+			break
+		}
 		if cfg.cancelled() {
 			cancelled.Store(true)
 			break
@@ -301,6 +331,9 @@ func parallelRangeBoundedCore(ranking Ranking, refine BoundedRefine, eps float64
 	close(dispatch)
 	wg.Wait()
 
+	if err := faulted.Err(); err != nil {
+		return nil, nil, err
+	}
 	counters.flush(stats)
 	stats.Cancelled = cancelled.Load()
 	sort.Slice(results, func(i, j int) bool {

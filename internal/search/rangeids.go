@@ -104,7 +104,10 @@ func RangeIDsBounded(ranking Ranking, refine BoundedRefine, upper func(index int
 				ids = append(ids, c.Index)
 				continue
 			}
-			r := refine(c.Index, eps)
+			r, rerr := callRefine(refine, c.Index, eps)
+			if rerr != nil {
+				return nil, nil, rerr
+			}
 			stats.observe(r)
 			if r.Interrupted {
 				stats.Cancelled = true
@@ -123,6 +126,7 @@ func RangeIDsBounded(ranking Ranking, refine BoundedRefine, upper func(index int
 		mu       sync.Mutex
 		counters parallelCounters
 		stopped  atomic.Bool
+		faulted  fault
 	)
 	dispatch := make(chan Candidate, workers)
 	var wg sync.WaitGroup
@@ -131,11 +135,18 @@ func RangeIDsBounded(ranking Ranking, refine BoundedRefine, upper func(index int
 		go func() {
 			defer wg.Done()
 			for c := range dispatch {
+				if faulted.Load() {
+					continue
+				}
 				if cancelled() {
 					stopped.Store(true)
 					continue
 				}
-				r := refine(c.Index, eps)
+				r, rerr := callRefine(refine, c.Index, eps)
+				if rerr != nil {
+					faulted.record(rerr)
+					continue
+				}
 				counters.observe(r)
 				if r.Interrupted {
 					stopped.Store(true)
@@ -150,6 +161,9 @@ func RangeIDsBounded(ranking Ranking, refine BoundedRefine, upper func(index int
 		}()
 	}
 	for {
+		if faulted.Load() {
+			break
+		}
 		if cancelled() {
 			stopped.Store(true)
 			break
@@ -176,6 +190,9 @@ func RangeIDsBounded(ranking Ranking, refine BoundedRefine, upper func(index int
 	close(dispatch)
 	wg.Wait()
 
+	if err := faulted.Err(); err != nil {
+		return nil, nil, err
+	}
 	stats.Refinements = int(atomic.LoadInt64(&counters.refined))
 	stats.RefinesAborted = int(atomic.LoadInt64(&counters.aborted))
 	stats.WarmStartHits = int(atomic.LoadInt64(&counters.warm))

@@ -46,6 +46,12 @@ type Metrics struct {
 	// certified anytime (degraded but sound) answer instead of the
 	// complete one because their deadline expired first.
 	QueriesDeadlineDegraded int64 `json:"queries_deadline_degraded"`
+	// QueryPanics counts contained invariant failures: refinement
+	// panics recovered by the panic barrier and converted into
+	// ErrInternal on the failing query. Any nonzero value deserves
+	// investigation — it means the exact solver tripped an invariant —
+	// but the process survived and every other query was unaffected.
+	QueryPanics int64 `json:"query_panics"`
 	// SnapshotBuilds counts how often the query pipeline was
 	// (re)assembled — once after each batch of mutations, not per
 	// query. A high rate signals interleaving mutations with queries.
@@ -174,6 +180,12 @@ func (em *engineMetrics) observeRangeIDs(st *search.RangeIDsStats) {
 	em.m.WarmStartHits += int64(st.WarmStartHits)
 	em.m.RefineRows += st.RefineRows
 	em.m.RefineCols += st.RefineCols
+}
+
+func (em *engineMetrics) queryPanicked() {
+	em.mu.Lock()
+	em.m.QueryPanics++
+	em.mu.Unlock()
 }
 
 func (em *engineMetrics) queryError() {

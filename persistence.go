@@ -30,6 +30,14 @@ var (
 	// engine configured differently (dimensionality, ground-distance
 	// matrix, reduction d') than the one loading it.
 	ErrConfigMismatch = persist.ErrConfigMismatch
+	// ErrWALBroken reports a write-ahead log latched unusable: an append
+	// failed AND rolling the partial frame back failed too, so the
+	// file's tail state is unknown. Every further logged mutation fails
+	// with this error until ReopenWAL succeeds (reopening re-scans the
+	// file and truncates the damage). The engine's in-memory state stays
+	// correct throughout — a mutation that failed durability was never
+	// applied.
+	ErrWALBroken = persist.ErrWALBroken
 )
 
 // costHash fingerprints the engine's ground-distance matrix for the
@@ -274,6 +282,43 @@ func (e *Engine) OpenWAL(path string) error {
 	w, scan, err := persist.OpenWAL(path, persist.WALHeader{Dim: e.store.Dim(), CostHash: e.costHash()})
 	if err != nil {
 		return fmt.Errorf("emdsearch: open WAL: %w", err)
+	}
+	if scan.MaxAddID >= e.store.Len() {
+		cerr := w.Close()
+		return fmt.Errorf("emdsearch: WAL %s holds mutations beyond the engine's %d items; recover with RecoverEngine before reopening (close: %v)",
+			path, e.store.Len(), cerr)
+	}
+	e.wal = w
+	return nil
+}
+
+// ReopenWAL recovers a broken write-ahead log in place: it closes the
+// current log file and reopens the same path, re-running the open-time
+// integrity scan (which truncates any torn tail the failed rollback
+// left behind). On success the engine resumes durable logging exactly
+// where the last acknowledged mutation left off — the log's valid
+// prefix always equals the acknowledged mutations, because a mutation
+// whose append failed was never applied in memory either.
+//
+// It is safe to call on a healthy WAL too (the scan is a no-op then),
+// and callers typically invoke it with backoff after Add/Delete starts
+// failing with ErrWALBroken — transient storage faults (full disk,
+// remounted volume) heal, permanent ones keep failing here and keep
+// the engine read-only-durable rather than silently non-durable.
+func (e *Engine) ReopenWAL() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.wal == nil {
+		return fmt.Errorf("emdsearch: ReopenWAL: engine has no WAL attached")
+	}
+	path := e.wal.Path()
+	// Close the old handle first; its buffered state is unusable and a
+	// close error on a broken file adds nothing actionable.
+	_ = e.wal.Close()
+	e.wal = nil
+	w, scan, err := persist.OpenWAL(path, persist.WALHeader{Dim: e.store.Dim(), CostHash: e.costHash()})
+	if err != nil {
+		return fmt.Errorf("emdsearch: reopen WAL: %w", err)
 	}
 	if scan.MaxAddID >= e.store.Len() {
 		cerr := w.Close()
