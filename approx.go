@@ -60,6 +60,7 @@ func (e *Engine) approxKNN(ctx context.Context, q Histogram, k int) ([]ApproxRes
 	defer s.putGreedy(upper)
 	qr := s.red.Apply(q)
 	lowers := make([]float64, len(s.vectors))
+	buf := s.reducedScratch()
 	for i := range s.vectors {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -68,7 +69,7 @@ func (e *Engine) approxKNN(ctx context.Context, q Histogram, k int) ([]ApproxRes
 			lowers[i] = math.Inf(1)
 			continue
 		}
-		lowers[i] = s.reduced.DistanceReduced(qr, s.reducedVecs[i])
+		lowers[i] = s.reduced.DistanceReduced(qr, s.finestReduced(i, buf))
 	}
 	intervals, cert, err := search.ApproxKNN(search.NewScanRanking(lowers), func(i int) float64 {
 		if s.deleted[i] {

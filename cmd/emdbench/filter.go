@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"emdsearch"
+	"emdsearch/internal/data"
+)
+
+// filterConfig sizes the filter-stage benchmark.
+type filterConfig struct {
+	n, d, queries int
+	k             int
+	seed          int64
+	out           string // JSON report path ("" = stdout only)
+}
+
+// filterVariant is one measured engine layout.
+type filterVariant struct {
+	Name        string  `json:"name"`
+	Block       int     `json:"block"`
+	Quantized   bool    `json:"quantized"`
+	Stage0NS    int64   `json:"stage0_ns"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	// SpeedupVsReference is reference stage-0 time over this variant's.
+	SpeedupVsReference float64 `json:"speedup_vs_reference"`
+}
+
+// filterReport is the machine-readable result of -exp filter, written
+// to -out as JSON (the CI benchmark smoke job archives it as
+// BENCH_filter.json).
+type filterReport struct {
+	N       int   `json:"n"`
+	D       int   `json:"d"`
+	DPrime  int   `json:"dprime"`
+	Queries int   `json:"queries"`
+	K       int   `json:"k"`
+	Seed    int64 `json:"seed"`
+
+	// ReferenceNS is the summed first-stage (Red-IM) time of the
+	// per-item reference scan across all queries.
+	ReferenceNS int64           `json:"reference_ns"`
+	Variants    []filterVariant `json:"variants"`
+
+	// BestSpeedup is the largest quantized-variant speedup; the
+	// acceptance target is SpeedupTarget.
+	BestSpeedup   float64 `json:"best_speedup"`
+	SpeedupTarget float64 `json:"speedup_target"`
+
+	ResultsIdentical bool `json:"results_identical"`
+}
+
+// filterSpeedupTarget is the acceptance bar for the quantized columnar
+// first stage over the per-item reference scan.
+const filterSpeedupTarget = 3.0
+
+// runFilter benchmarks the first filter stage across storage layouts:
+// the retained per-item reference scan, the columnar SoA Red-IM kernel
+// over a block-size sweep, and the int16-quantized tangent kernel over
+// the same sweep. Every variant serves the identical k-NN workload;
+// answers must stay bit-identical (the layouts are certified
+// evaluation-order refactors, not approximations). Reported throughput
+// is first-stage only — stats.Stages[0].Duration — so refinement cost
+// cannot dilute the comparison.
+func runFilter(cfg filterConfig) error {
+	ds, err := data.MusicSpectra(cfg.n+16, cfg.d, cfg.seed)
+	if err != nil {
+		return err
+	}
+	vecs, queries, err := ds.Split(16)
+	if err != nil {
+		return err
+	}
+	if cfg.queries < len(queries) {
+		queries = queries[:cfg.queries]
+	}
+	dprime := cfg.d / 4
+	if dprime < 2 {
+		dprime = 2
+	}
+
+	build := func(mut func(*emdsearch.Options)) (*emdsearch.Engine, error) {
+		opts := emdsearch.Options{
+			ReducedDims: dprime,
+			SampleSize:  24,
+			Seed:        cfg.seed,
+		}
+		mut(&opts)
+		eng, err := emdsearch.NewEngine(ds.Cost, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, h := range vecs {
+			if _, err := eng.Add(ds.Items[i].Label, h); err != nil {
+				return nil, err
+			}
+		}
+		if err := eng.Build(); err != nil {
+			return nil, err
+		}
+		return eng, nil
+	}
+
+	// run serves the workload and returns the answers plus the summed
+	// first-stage duration.
+	run := func(eng *emdsearch.Engine) ([][]emdsearch.Result, time.Duration, error) {
+		// Warm the snapshot (and quantization) outside the timed region.
+		if _, _, err := eng.KNN(queries[0], cfg.k); err != nil {
+			return nil, 0, err
+		}
+		results := make([][]emdsearch.Result, 0, cfg.queries)
+		var stage0 time.Duration
+		for qi := 0; qi < cfg.queries; qi++ {
+			res, stats, err := eng.KNN(queries[qi%len(queries)], cfg.k)
+			if err != nil {
+				return nil, 0, err
+			}
+			if len(stats.Stages) == 0 {
+				return nil, 0, fmt.Errorf("no filter stages in query stats")
+			}
+			stage0 += stats.Stages[0].Duration
+			results = append(results, res)
+		}
+		return results, stage0, nil
+	}
+
+	fmt.Printf("filter: n=%d d=%d d'=%d queries=%d k=%d seed=%d\n",
+		len(vecs), cfg.d, dprime, cfg.queries, cfg.k, cfg.seed)
+
+	refEng, err := build(func(o *emdsearch.Options) { o.ReferenceScan = true })
+	if err != nil {
+		return err
+	}
+	refRes, refStage0, err := run(refEng)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+	scanned := float64(len(vecs)) * float64(cfg.queries)
+	fmt.Printf("%-24s stage0=%-12v %14.0f items/s\n",
+		"reference", refStage0.Round(time.Microsecond), scanned/refStage0.Seconds())
+
+	rep := filterReport{
+		N: len(vecs), D: cfg.d, DPrime: dprime,
+		Queries: cfg.queries, K: cfg.k, Seed: cfg.seed,
+		ReferenceNS:      int64(refStage0),
+		SpeedupTarget:    filterSpeedupTarget,
+		ResultsIdentical: true,
+	}
+
+	for _, quantized := range []bool{false, true} {
+		for _, block := range []int{64, 256, 1024} {
+			name := fmt.Sprintf("columnar/b%d", block)
+			if quantized {
+				name = fmt.Sprintf("quantized/b%d", block)
+			}
+			q, b := quantized, block
+			eng, err := build(func(o *emdsearch.Options) {
+				o.FilterBlockSize = b
+				o.DisableQuantizedFilter = !q
+			})
+			if err != nil {
+				return err
+			}
+			res, stage0, err := run(eng)
+			if err != nil {
+				return fmt.Errorf("%s run: %w", name, err)
+			}
+			if !sameResults(refRes, res) {
+				rep.ResultsIdentical = false
+				fmt.Printf("%-24s DIVERGED from reference\n", name)
+				continue
+			}
+			v := filterVariant{
+				Name:               name,
+				Block:              block,
+				Quantized:          quantized,
+				Stage0NS:           int64(stage0),
+				ItemsPerSec:        scanned / stage0.Seconds(),
+				SpeedupVsReference: float64(refStage0) / float64(stage0),
+			}
+			rep.Variants = append(rep.Variants, v)
+			if quantized && v.SpeedupVsReference > rep.BestSpeedup {
+				rep.BestSpeedup = v.SpeedupVsReference
+			}
+			fmt.Printf("%-24s stage0=%-12v %14.0f items/s  %6.2fx\n",
+				name, stage0.Round(time.Microsecond), v.ItemsPerSec, v.SpeedupVsReference)
+		}
+	}
+
+	fmt.Printf("results identical: %v  best quantized speedup: %.2fx (target %.1fx)\n",
+		rep.ResultsIdentical, rep.BestSpeedup, rep.SpeedupTarget)
+
+	if cfg.out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(cfg.out, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.out)
+	}
+	if !rep.ResultsIdentical {
+		return fmt.Errorf("a columnar layout diverged from the reference scan")
+	}
+	return nil
+}

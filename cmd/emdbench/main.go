@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine|persist] [-scale full|medium|quick] [-csv] [-seed N]
+//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine|filter|persist] [-scale full|medium|quick] [-csv] [-seed N]
 //	         [-dprime D] [-workers N] [-concurrency N] [-timeout D] [-wal FILE] [-out FILE]
 //
 // The full scale approximates the paper's corpus sizes and can take
@@ -25,6 +25,12 @@
 // against the legacy unbounded one on an identical k-NN workload,
 // verifies the answers are bit-identical, and (with -out) writes a
 // JSON report with the speedup and refinement counters.
+//
+// -exp filter benchmarks the first filter stage across storage
+// layouts — the per-item reference scan, the columnar SoA Red-IM
+// kernel, and the int16-quantized tangent kernel — over a block-size
+// sweep, verifies the k-NN answers stay bit-identical, and (with
+// -out) writes a JSON report with per-layout throughput and speedups.
 //
 // -exp persist benchmarks the durability layer: atomic snapshot
 // save/load, fsynced write-ahead-log append throughput, checkpoint
@@ -96,6 +102,25 @@ func main() {
 		}
 		if err := runPersist(pc); err != nil {
 			fmt.Fprintf(os.Stderr, "emdbench: persist: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *expFlag == "filter" {
+		fc := filterConfig{n: 1000, d: 32, queries: 200, k: 10, seed: *seedFlag, out: *outFlag}
+		switch *scaleFlag {
+		case "full":
+			fc.n, fc.queries = 8000, 500
+		case "medium":
+			fc.n, fc.queries = 3000, 300
+		case "quick":
+		default:
+			fmt.Fprintf(os.Stderr, "emdbench: unknown scale %q (want full, medium or quick)\n", *scaleFlag)
+			os.Exit(2)
+		}
+		if err := runFilter(fc); err != nil {
+			fmt.Fprintf(os.Stderr, "emdbench: filter: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"emdsearch/internal/cluster"
+	"emdsearch/internal/colscan"
 	"emdsearch/internal/core"
 	"emdsearch/internal/db"
 	"emdsearch/internal/emd"
@@ -57,6 +58,28 @@ type Options struct {
 	// (enabled by default; it is essentially free and prunes Red-EMD
 	// evaluations).
 	DisableIMFilter bool
+	// DisableQuantizedFilter switches off the int16-quantized columnar
+	// pre-filter that by default runs ahead of Red-IM: a branch-free
+	// tangent-plane evaluation over per-block quantized columns whose
+	// certified error margin keeps it a true lower bound, so answers
+	// are bit-identical with it on or off — only the work distribution
+	// across stages changes. It is skipped automatically when the
+	// Red-IM stage is disabled or a Positions-based ranking replaces
+	// the eager first scan. The zero value (enabled) is right for
+	// nearly everyone.
+	DisableQuantizedFilter bool
+	// FilterBlockSize is the item-block length of the columnar filter
+	// layout; 0 selects the default (256). Smaller blocks give the
+	// quantized filter tighter per-block scales and tangents (better
+	// pruning) at slightly more per-block overhead. Exposed mainly for
+	// benchmarking; the default is right for nearly everyone.
+	FilterBlockSize int
+	// ReferenceScan retains the legacy per-item filter representation
+	// ([]Histogram with closure-based stages) instead of the columnar
+	// layout and batched kernels. Results are bit-identical either
+	// way; this exists as the verification baseline for that claim and
+	// for benchmarking the columnar speedup.
+	ReferenceScan bool
 	// AsymmetricQuery keeps the query at full dimensionality in the
 	// Red-EMD filter (R1 = identity, R2 = the built reduction;
 	// Section 3.2 of the paper). The filter becomes a rectangular
@@ -154,6 +177,13 @@ type Engine struct {
 	snap    *snapshot         // current immutable query pipeline, nil after mutations
 	wal     *persist.WAL      // open write-ahead log, nil when not logging
 
+	// savedQuant is a quantized filter restored from a persisted
+	// snapshot, reused by the next pipeline build when it still matches
+	// the live data (see reusableQuant); savedQuantHash fingerprints
+	// the reduction it was built under.
+	savedQuant     *colscan.Quantized
+	savedQuantHash uint64
+
 	metrics engineMetrics
 }
 
@@ -171,11 +201,20 @@ type snapshot struct {
 	dist     *emd.Dist
 	dim      int
 
-	red         *core.Reduction
-	cascade     []*core.Reduction // coarsest first (nil without Hierarchy)
-	reduced     *core.ReducedEMD  // finest symmetric lower bound (nil when unreduced)
-	redUpper    *core.ReducedEMDUpper
-	reducedVecs []Histogram // finest-level reduced database vectors
+	red      *core.Reduction
+	cascade  []*core.Reduction // coarsest first (nil without Hierarchy)
+	reduced  *core.ReducedEMD  // finest symmetric lower bound (nil when unreduced)
+	redUpper *core.ReducedEMDUpper
+	// The finest-level reduced database: columnar by default,
+	// per-item slices under Options.ReferenceScan. Exactly one of the
+	// two is non-nil when a reduction is built; finestReduced is the
+	// layout-independent accessor.
+	reducedCols *colscan.Columns
+	reducedVecs []Histogram
+	// quant is the coarsest level's certified quantized filter, nil
+	// when the quantized stage is not in play. Persistence serializes
+	// it so a reopened engine skips requantization.
+	quant *colscan.Quantized
 
 	// hook is Options.RefineHook, captured at build time; nil outside
 	// fault-injection runs.
@@ -267,6 +306,27 @@ func (s *snapshot) greedyUpper() *lb.GreedyUpper {
 }
 
 func (s *snapshot) putGreedy(g *lb.GreedyUpper) { s.greedy.Put(g) }
+
+// reducedScratch returns a buffer sized for finestReduced's gather, or
+// nil when the snapshot stores per-item slices and needs none. One per
+// query loop, not one per item.
+func (s *snapshot) reducedScratch() []float64 {
+	if s.reducedCols == nil {
+		return nil
+	}
+	return make([]float64, s.reducedCols.Dims())
+}
+
+// finestReduced returns item i's finest-level reduced vector,
+// gathering from the columnar layout into buf (from reducedScratch)
+// or handing out the retained per-item slice under ReferenceScan. The
+// values are identical bit-for-bit in both layouts.
+func (s *snapshot) finestReduced(i int, buf []float64) Histogram {
+	if s.reducedCols == nil {
+		return s.reducedVecs[i]
+	}
+	return s.reducedCols.Gather(i, buf)
+}
 
 // NewEngine creates an engine for histograms whose ground distance is
 // the given square cost matrix.
@@ -648,7 +708,8 @@ func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 		type levelState struct {
 			red     *core.Reduction
 			reduced *core.ReducedEMD
-			vecs    []Histogram
+			vecs    []Histogram      // Options.ReferenceScan only
+			cols    *colscan.Columns // default columnar layout
 		}
 		states := make([]levelState, len(levels))
 		for li, lr := range levels {
@@ -656,11 +717,21 @@ func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 			if err != nil {
 				return nil, err
 			}
-			lvecs := make([]Histogram, len(vectors))
-			for i, v := range vectors {
-				lvecs[i] = lr.Apply(v)
+			st := levelState{red: lr, reduced: lred}
+			if e.opts.ReferenceScan {
+				st.vecs = make([]Histogram, len(vectors))
+				for i, v := range vectors {
+					st.vecs[i] = lr.Apply(v)
+				}
+			} else {
+				st.cols, err = colscan.Build(len(vectors), lr.ReducedDims(), e.opts.FilterBlockSize,
+					func(i int, dst []float64) { copy(dst, lr.Apply(vectors[i])) })
+				if err != nil {
+					return nil, err
+				}
+				e.metrics.columnsBuilt()
 			}
-			states[li] = levelState{red: lr, reduced: lred, vecs: lvecs}
+			states[li] = st
 		}
 		// The finest level's reduced data also serves the certified
 		// approximate and membership query paths (ApproxKNN, RangeIDs,
@@ -668,6 +739,7 @@ func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 		finest := states[len(states)-1]
 		snap.reduced = finest.reduced
 		snap.reducedVecs = finest.vecs
+		snap.reducedCols = finest.cols
 		if snap.redUpper, err = core.NewReducedEMDUpper(e.cost, finest.red, finest.red); err != nil {
 			return nil, err
 		}
@@ -678,32 +750,78 @@ func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 			if err != nil {
 				return nil, err
 			}
-			s.Stages = append(s.Stages, search.FilterStage{
-				Name:         "Red-IM",
-				PrepareQuery: coarsest.red.Apply,
-				Distance: func(qr Histogram, i int) float64 {
-					return im.Distance(qr, coarsest.vecs[i])
-				},
-			})
+			if e.opts.ReferenceScan {
+				s.Stages = append(s.Stages, search.FilterStage{
+					Name:         "Red-IM",
+					PrepareQuery: coarsest.red.Apply,
+					Distance: func(qr Histogram, i int) float64 {
+						return im.Distance(qr, coarsest.vecs[i])
+					},
+				})
+			} else {
+				// The quantized pre-filter leads the chain unless
+				// disabled or displaced by a BaseRanking (with a lazy
+				// ranking at the bottom there is no eager first scan for
+				// the batched kernel to accelerate, and its per-item
+				// tangent recompilation would cost more than it prunes).
+				if !e.opts.DisableQuantizedFilter && s.BaseRanking == nil {
+					hash := persist.ReductionHash(coarsest.red.Assignment(), coarsest.red.ReducedDims())
+					qz := e.reusableQuant(coarsest.cols, hash)
+					if qz == nil {
+						if qz, err = colscan.Quantize(coarsest.cols, maxCost(im.Cost())); err != nil {
+							return nil, err
+						}
+					}
+					// Stash for Save and for the next rebuild (hash and
+					// geometry guard staleness; see reusableQuant).
+					e.savedQuant, e.savedQuantHash = qz, hash
+					qsc, err := colscan.NewQuantScanner(im, qz)
+					if err != nil {
+						return nil, err
+					}
+					s.Stages = append(s.Stages, search.FilterStage{
+						Name:         "Q-Red-IM",
+						PrepareQuery: coarsest.red.Apply,
+						Distance:     qsc.DistanceAt,
+						ScanAll:      qsc.ScanAll,
+					})
+					snap.quant = qz
+				}
+				sc, err := colscan.NewIMScanner(im, coarsest.cols)
+				if err != nil {
+					return nil, err
+				}
+				s.Stages = append(s.Stages, search.FilterStage{
+					Name:         "Red-IM",
+					PrepareQuery: coarsest.red.Apply,
+					Distance:     sc.DistanceAt,
+					ScanAll:      sc.ScanAll,
+				})
+			}
 		}
 		// Hierarchical mode: one Red-EMD stage per level, coarsest
 		// (cheapest) first; each lower-bounds the next by nesting.
 		if len(states) > 1 {
 			for li := range states {
 				st := states[li]
-				s.Stages = append(s.Stages, search.FilterStage{
+				stage := search.FilterStage{
 					Name:         fmt.Sprintf("Red-EMD-%d", st.red.ReducedDims()),
 					PrepareQuery: st.red.Apply,
-					Distance: func(qr Histogram, i int) float64 {
+				}
+				if e.opts.ReferenceScan {
+					stage.Distance = func(qr Histogram, i int) float64 {
 						return st.reduced.DistanceReduced(qr, st.vecs[i])
-					},
-				})
+					}
+				} else {
+					stage.Distance = gatherDistance(st.cols, st.reduced.DistanceReduced)
+					stage.ScanAll = scanGatherAll(st.cols, st.reduced.DistanceReduced)
+				}
+				s.Stages = append(s.Stages, stage)
 			}
 			snap.searcher = s
 			return snap, nil
 		}
-		reduced := states[0].reduced
-		reducedVecs := states[0].vecs
+		st := states[0]
 		if e.opts.AsymmetricQuery {
 			// Rectangular filter EMD: unreduced query against reduced
 			// database vectors. It dominates the symmetric reduced EMD
@@ -712,25 +830,99 @@ func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 			if err != nil {
 				return nil, err
 			}
-			s.Stages = append(s.Stages, search.FilterStage{
+			stage := search.FilterStage{
 				Name:         "Asym-Red-EMD",
 				PrepareQuery: func(q Histogram) Histogram { return q },
-				Distance: func(q Histogram, i int) float64 {
-					return asym.DistanceReduced(q, reducedVecs[i])
-				},
-			})
+			}
+			if e.opts.ReferenceScan {
+				stage.Distance = func(q Histogram, i int) float64 {
+					return asym.DistanceReduced(q, st.vecs[i])
+				}
+			} else {
+				stage.Distance = gatherDistance(st.cols, asym.DistanceReduced)
+				stage.ScanAll = scanGatherAll(st.cols, asym.DistanceReduced)
+			}
+			s.Stages = append(s.Stages, stage)
 		} else {
-			s.Stages = append(s.Stages, search.FilterStage{
+			stage := search.FilterStage{
 				Name:         "Red-EMD",
 				PrepareQuery: e.red.Apply,
-				Distance: func(qr Histogram, i int) float64 {
-					return reduced.DistanceReduced(qr, reducedVecs[i])
-				},
-			})
+			}
+			if e.opts.ReferenceScan {
+				stage.Distance = func(qr Histogram, i int) float64 {
+					return st.reduced.DistanceReduced(qr, st.vecs[i])
+				}
+			} else {
+				stage.Distance = gatherDistance(st.cols, st.reduced.DistanceReduced)
+				stage.ScanAll = scanGatherAll(st.cols, st.reduced.DistanceReduced)
+			}
+			s.Stages = append(s.Stages, stage)
 		}
 	}
 	snap.searcher = s
 	return snap, nil
+}
+
+// maxCost returns the largest entry of a cost matrix — the Cmax the
+// quantized filter's error margins are calibrated against.
+func maxCost(c emd.CostMatrix) float64 {
+	var m float64
+	for _, row := range c {
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// reusableQuant returns the stashed quantized filter (restored from a
+// persisted snapshot, or built by a previous pipeline assembly) if it
+// provably matches what Quantize would produce for the current
+// columns: same item count and geometry, and the same reduction
+// fingerprint. The store is append-only and deletes are soft, so
+// (item count, reduction) pins the reduced content exactly; the cost
+// maximum is a function of the reduction, covered by the fingerprint.
+// Otherwise nil, and the caller requantizes. Caller holds e.mu.
+func (e *Engine) reusableQuant(cols *colscan.Columns, hash uint64) *colscan.Quantized {
+	qz := e.savedQuant
+	if qz == nil || e.savedQuantHash != hash {
+		return nil
+	}
+	if qz.Len() != cols.Len() || qz.Dims() != cols.Dims() || qz.BlockSize() != cols.BlockSize() {
+		return nil
+	}
+	e.metrics.quantizedReused()
+	return qz
+}
+
+// gatherDistance adapts a distance over per-item reduced vectors to
+// the columnar layout: gather into pooled scratch, evaluate. The
+// returned closure is shared by all queries of a snapshot, hence the
+// pool (stage Distance functions must be concurrency-safe).
+func gatherDistance(cols *colscan.Columns, dist func(qr, v Histogram) float64) func(Histogram, int) float64 {
+	pool := &sync.Pool{New: func() interface{} {
+		b := make([]float64, cols.Dims())
+		return &b
+	}}
+	return func(qr Histogram, i int) float64 {
+		bp := pool.Get().(*[]float64)
+		d := dist(qr, cols.Gather(i, *bp))
+		pool.Put(bp)
+		return d
+	}
+}
+
+// scanGatherAll adapts the same distance to the eager batched form
+// used when the stage sits at the bottom of the chain: one block
+// transpose per block instead of n pooled gathers.
+func scanGatherAll(cols *colscan.Columns, dist func(qr, v Histogram) float64) func(Histogram, []float64) int {
+	return func(qr Histogram, out []float64) int {
+		return cols.ScanGather(out, func(i int, row []float64) float64 {
+			return dist(qr, row)
+		})
+	}
 }
 
 // validateQuery checks a query histogram against the engine's

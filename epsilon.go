@@ -42,6 +42,7 @@ func (e *Engine) epsilonForCount(ctx context.Context, q Histogram, count int) (f
 	}
 	qr := s.red.Apply(q)
 	uppers := make([]float64, 0, live)
+	buf := s.reducedScratch()
 	for i := range s.vectors {
 		if s.deleted[i] {
 			continue
@@ -49,7 +50,7 @@ func (e *Engine) epsilonForCount(ctx context.Context, q Histogram, count int) (f
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		uppers = append(uppers, s.redUpper.DistanceReduced(qr, s.reducedVecs[i]))
+		uppers = append(uppers, s.redUpper.DistanceReduced(qr, s.finestReduced(i, buf)))
 	}
 	d, err := stats.NewDistribution(uppers)
 	if err != nil {
@@ -134,11 +135,12 @@ func (e *Engine) rangeIDs(ctx context.Context, q Histogram, eps float64) ([]int,
 	lowers := make([]float64, len(s.vectors))
 	if s.red != nil {
 		qr := s.red.Apply(q)
+		buf := s.reducedScratch()
 		for i := range s.vectors {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			lowers[i] = s.reduced.DistanceReduced(qr, s.reducedVecs[i])
+			lowers[i] = s.reduced.DistanceReduced(qr, s.finestReduced(i, buf))
 		}
 	}
 	cancel, stopWatch := search.WatchContext(ctx)

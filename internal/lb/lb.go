@@ -74,6 +74,21 @@ func NewIM(c emd.CostMatrix) (*IM, error) {
 // cost matrix.
 func (im *IM) Dims() (rows, cols int) { return im.cost.Rows(), im.cost.Cols() }
 
+// Cost returns the compiled cost matrix. It is shared, not copied: the
+// columnar scan kernels replicate the scalar walk bit-for-bit and must
+// read the very same values. Callers must not mutate it.
+func (im *IM) Cost() emd.CostMatrix { return im.cost }
+
+// RowOrders returns, for each source bin i, the target bins in
+// ascending cost order — the exact walk order of the forward
+// relaxation. Shared and read-only, like Cost.
+func (im *IM) RowOrders() [][]int32 { return im.rowOrder }
+
+// ColOrders returns, for each target bin j, the source bins in
+// ascending cost order — the exact walk order of the backward
+// relaxation. Shared and read-only, like Cost.
+func (im *IM) ColOrders() [][]int32 { return im.colOrder }
+
 // Distance returns max(forward, backward) of the two one-sided
 // relaxations; both are lower bounds of EMD_C(x, y), hence so is the
 // maximum.

@@ -43,8 +43,10 @@ import (
 // with it are treated as legacy (version-0) gob streams by the engine.
 const Magic = "EMDSNAP\x00"
 
-// SnapshotVersion is the current snapshot format version.
-const SnapshotVersion = 1
+// SnapshotVersion is the current snapshot format version. Version 2
+// added the optional quantized-filter section; version-1 files are
+// still read (the engine rebuilds the filter from the items).
+const SnapshotVersion = 2
 
 // maxFrame bounds a single frame body; larger declared lengths can
 // only come from damage.
@@ -106,6 +108,23 @@ type Reduction struct {
 	Reduced int
 }
 
+// QuantSection is the persisted quantized columnar filter: the int16
+// column data plus the per-block scales and certified error margins,
+// the geometry they describe, the cost maximum the margins were
+// calibrated for, and the fingerprint (ReductionHash) of the reduction
+// the columns were quantized under. Reusing it on load skips
+// requantization; it is strictly an optimization, so a reader that
+// cannot reuse it (fingerprint or geometry mismatch after further
+// mutations) simply rebuilds.
+type QuantSection struct {
+	N, Dims, Block int
+	CostMax        float64
+	RedHash        uint64
+	Scales         []float64
+	Margins        []float64
+	Cols           [][]int16
+}
+
 // Snapshot is the full persisted engine state.
 type Snapshot struct {
 	Header Header
@@ -118,12 +137,21 @@ type Snapshot struct {
 	EngineReduction *Reduction
 	// Deleted lists soft-deleted item ids, ascending.
 	Deleted []int
+	// Quant is the quantized columnar filter, nil when the engine had
+	// none built (and always nil in version-1 files).
+	Quant *QuantSection
 }
 
 // reductionsSection is the gob payload of the third snapshot section.
 type reductionsSection struct {
 	Named  map[string]Reduction
 	Engine *Reduction
+}
+
+// quantSection is the gob payload of the fifth snapshot section; the
+// pointer encodes presence.
+type quantSection struct {
+	Quant *QuantSection
 }
 
 // CostHash fingerprints a ground-distance matrix: shape plus the exact
@@ -141,6 +169,23 @@ func CostHash(cost [][]float64) uint64 {
 			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
 			h.Write(b[:])
 		}
+	}
+	return h.Sum64()
+}
+
+// ReductionHash fingerprints a dimensionality reduction: the reduced
+// dimensionality plus the exact assignment vector. Two reductions hash
+// equal iff they map every original bin to the same reduced bin.
+func ReductionHash(assign []int, reduced int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(reduced))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(len(assign)))
+	h.Write(b[:])
+	for _, a := range assign {
+		binary.LittleEndian.PutUint64(b[:], uint64(a))
+		h.Write(b[:])
 	}
 	return h.Sum64()
 }
@@ -235,7 +280,8 @@ func readGobFrame(r io.Reader, v interface{}, section string) error {
 
 // WriteSnapshot writes s to w in the versioned format: magic, version
 // word, then one CRC-framed gob section each for the header, the
-// items, the reductions and the deleted set.
+// items, the reductions, the deleted set, and the (possibly absent)
+// quantized filter.
 func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	if s.Header.Items != len(s.Items) {
 		return fmt.Errorf("persist: header declares %d items, snapshot carries %d", s.Header.Items, len(s.Items))
@@ -257,7 +303,10 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	if err := gobFrame(w, reductionsSection{Named: s.Reductions, Engine: s.EngineReduction}); err != nil {
 		return err
 	}
-	return gobFrame(w, s.Deleted)
+	if err := gobFrame(w, s.Deleted); err != nil {
+		return err
+	}
+	return gobFrame(w, quantSection{Quant: s.Quant})
 }
 
 // ReadSnapshot reads a snapshot written by WriteSnapshot. Every
@@ -272,8 +321,8 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	version := binary.LittleEndian.Uint32(preamble[len(Magic):])
-	if version != SnapshotVersion {
-		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d", ErrVersion, version, SnapshotVersion)
+	if version < 1 || version > SnapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads 1..%d", ErrVersion, version, SnapshotVersion)
 	}
 	s := &Snapshot{}
 	if err := readGobFrame(r, &s.Header, "header"); err != nil {
@@ -289,6 +338,13 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	s.Reductions, s.EngineReduction = reds.Named, reds.Engine
 	if err := readGobFrame(r, &s.Deleted, "deleted"); err != nil {
 		return nil, err
+	}
+	if version >= 2 {
+		var qs quantSection
+		if err := readGobFrame(r, &qs, "quantized filter"); err != nil {
+			return nil, err
+		}
+		s.Quant = qs.Quant
 	}
 	if s.Header.Items != len(s.Items) {
 		return nil, fmt.Errorf("%w: header declares %d items, snapshot carries %d", ErrCorrupt, s.Header.Items, len(s.Items))

@@ -22,6 +22,16 @@ type FilterStage struct {
 	// Distance computes the stage's filter distance between the
 	// prepared query and database item index.
 	Distance func(prepared emd.Histogram, index int) float64
+	// ScanAll, when set, computes the stage's distance for every item
+	// in one batched pass, writing item i's distance to out[i] and
+	// returning the number of items evaluated. It is used only when
+	// the stage runs eagerly at the bottom of the chain (stage 0 with
+	// no BaseRanking), where a columnar kernel beats n calls through
+	// Distance. It must agree with Distance item-wise: same values, or
+	// at minimum the same lower-bounding contract against later
+	// stages. Distance remains required — lazy chained use and
+	// auxiliary query paths still call it.
+	ScanAll func(prepared emd.Histogram, out []float64) int
 }
 
 // Searcher executes multistep k-NN and range queries over a database
@@ -105,13 +115,18 @@ func (s *Searcher) buildRanking(q emd.Histogram) (Ranking, []stageProbe, error) 
 		prepared := first.PrepareQuery(q)
 		dists := make([]float64, s.N)
 		start := time.Now()
-		for i := 0; i < s.N; i++ {
-			dists[i] = first.Distance(prepared, i)
+		var scanned int
+		if first.ScanAll != nil {
+			scanned = first.ScanAll(prepared, dists)
+		} else {
+			for i := 0; i < s.N; i++ {
+				dists[i] = first.Distance(prepared, i)
+			}
+			scanned = s.N
 		}
 		scanDur := time.Since(start)
 		ranking = NewScanRanking(dists)
 		chainFrom = 1
-		scanned := s.N
 		dur := new(time.Duration)
 		*dur = scanDur
 		probes = append(probes, stageProbe{

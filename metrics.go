@@ -56,6 +56,12 @@ type Metrics struct {
 	// (re)assembled — once after each batch of mutations, not per
 	// query. A high rate signals interleaving mutations with queries.
 	SnapshotBuilds int64 `json:"snapshot_builds"`
+	// ColumnBuilds counts columnar filter layouts assembled during
+	// snapshot builds (one per filter level). QuantizedReuses counts
+	// pipeline builds that reused a quantized filter restored from a
+	// persisted snapshot instead of requantizing.
+	ColumnBuilds    int64 `json:"column_builds"`
+	QuantizedReuses int64 `json:"quantized_reuses"`
 
 	// WALAppends counts mutations (Add/Delete) durably appended to an
 	// open write-ahead log; WALReplayed counts log records applied by
@@ -197,6 +203,18 @@ func (em *engineMetrics) queryError() {
 func (em *engineMetrics) snapshotBuilt() {
 	em.mu.Lock()
 	em.m.SnapshotBuilds++
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) columnsBuilt() {
+	em.mu.Lock()
+	em.m.ColumnBuilds++
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) quantizedReused() {
+	em.mu.Lock()
+	em.m.QuantizedReuses++
 	em.mu.Unlock()
 }
 

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 
+	"emdsearch/internal/colscan"
 	"emdsearch/internal/core"
 	"emdsearch/internal/db"
 	"emdsearch/internal/persist"
@@ -74,6 +75,24 @@ func (e *Engine) snapshotRecordLocked() *persist.Snapshot {
 		deleted = append(deleted, id)
 	}
 	sort.Ints(deleted)
+	// Persist the quantized columnar filter when the stash matches the
+	// current item count (it can lag behind after mutations that have
+	// not been followed by a query; the filter is an optimization, so
+	// a stale one is simply omitted rather than saved dead). The slices
+	// are shared with the immutable Quantized, never mutated.
+	var quant *persist.QuantSection
+	if qz := e.savedQuant; qz != nil && qz.Len() == n {
+		quant = &persist.QuantSection{
+			N:       qz.Len(),
+			Dims:    qz.Dims(),
+			Block:   qz.BlockSize(),
+			CostMax: qz.CostMax(),
+			RedHash: e.savedQuantHash,
+			Scales:  qz.Scales(),
+			Margins: qz.Margins(),
+			Cols:    qz.Data(),
+		}
+	}
 	return &persist.Snapshot{
 		Header: persist.Header{
 			Dim:         e.store.Dim(),
@@ -85,6 +104,7 @@ func (e *Engine) snapshotRecordLocked() *persist.Snapshot {
 		Reductions:      named,
 		EngineReduction: engRed,
 		Deleted:         deleted,
+		Quant:           quant,
 	}
 }
 
@@ -228,6 +248,23 @@ func engineFromSnapshot(s *persist.Snapshot, cost CostMatrix, opts Options) (*En
 			e.deleted = make(map[int]bool, len(s.Deleted))
 		}
 		e.deleted[id] = true
+	}
+	if s.Quant != nil {
+		// Revalidate every structural invariant of the quantized filter
+		// before stashing it: a CRC-valid but semantically damaged
+		// section must fail the load, never reach a scan. Whether the
+		// stash is actually reused is decided at pipeline build time by
+		// matching its geometry and reduction fingerprint.
+		if s.Quant.N != e.store.Len() {
+			return nil, fmt.Errorf("emdsearch: %w: quantized filter covers %d items, snapshot carries %d",
+				ErrCorrupt, s.Quant.N, e.store.Len())
+		}
+		qz, err := colscan.RestoreQuantized(s.Quant.N, s.Quant.Dims, s.Quant.Block,
+			s.Quant.CostMax, s.Quant.Scales, s.Quant.Margins, s.Quant.Cols)
+		if err != nil {
+			return nil, fmt.Errorf("emdsearch: %w: quantized filter: %v", ErrCorrupt, err)
+		}
+		e.savedQuant, e.savedQuantHash = qz, s.Quant.RedHash
 	}
 	return e, nil
 }

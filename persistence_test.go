@@ -652,3 +652,183 @@ func TestConcurrentMutateCheckpointQuery(t *testing.T) {
 	}
 	assertSameState(t, rec, eng, randHist(seed, d))
 }
+
+// snapshotAsV1 rewrites a current-format snapshot as a version-1 file:
+// the version word is patched and the fifth (quantized filter) frame is
+// dropped. Frame lengths are self-describing, so the first four frames
+// can be walked without decoding them.
+func snapshotAsV1(t *testing.T, v2 []byte) []byte {
+	t.Helper()
+	off := len(persist.Magic) + 4
+	for f := 0; f < 4; f++ {
+		if off+12 > len(v2) {
+			t.Fatalf("snapshot too short walking frame %d", f)
+		}
+		length := binary.LittleEndian.Uint32(v2[off:])
+		off += 12 + int(length)
+	}
+	v1 := append([]byte(nil), v2[:off]...)
+	binary.LittleEndian.PutUint32(v1[len(persist.Magic):], 1)
+	return v1
+}
+
+// TestSaveLoadQuantFilter round-trips the quantized columnar filter:
+// the saved section must be adopted on load (no requantization), the
+// loaded engine must answer identically through the full stage chain,
+// and a mutation after load must invalidate the adopted section rather
+// than reuse stale data.
+func TestSaveLoadQuantFilter(t *testing.T) {
+	opts := Options{ReducedDims: 6, SampleSize: 8}
+	eng, queries := buildEngine(t, opts, 50)
+	q := queries[0]
+	// Force a snapshot build so the engine stashes the quantized filter.
+	want, _, err := eng.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// The snapshot must actually carry the section.
+	snap, err := persist.ReadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Quant == nil {
+		t.Fatal("snapshot of a queried reduced engine carries no quantized filter section")
+	}
+	if snap.Quant.N != eng.Len() {
+		t.Fatalf("quant section covers %d items, engine has %d", snap.Quant.N, eng.Len())
+	}
+
+	loaded, err := LoadEngine(bytes.NewReader(raw), eng.Cost(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := loaded.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stages[0].Name != "Q-Red-IM" {
+		t.Fatalf("loaded engine stage chain starts with %q, want Q-Red-IM", stats.Stages[0].Name)
+	}
+	for i := range want {
+		if got[i].Index != want[i].Index || got[i].Dist != want[i].Dist {
+			t.Fatalf("result %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	m := loaded.Metrics()
+	if m.QuantizedReuses != 1 {
+		t.Errorf("QuantizedReuses = %d, want 1 (saved section adopted)", m.QuantizedReuses)
+	}
+
+	// A mutation changes the item count: the adopted section no longer
+	// matches and must be requantized, not reused.
+	if _, err := loaded.Add("fresh", randHist(rand.New(rand.NewSource(5)), loaded.Dim())); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loaded.KNN(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	if m := loaded.Metrics(); m.QuantizedReuses != 1 {
+		t.Errorf("QuantizedReuses after mutation = %d, want still 1", m.QuantizedReuses)
+	}
+}
+
+// TestLoadV1Snapshot exercises backward compatibility: a version-1
+// file (no quantized-filter frame) must load, rebuild the filter from
+// the items, and answer identically to the engine that wrote it.
+func TestLoadV1Snapshot(t *testing.T) {
+	opts := Options{ReducedDims: 6, SampleSize: 8}
+	eng, queries := buildEngine(t, opts, 40)
+	q := queries[0]
+	want, _, err := eng.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := snapshotAsV1(t, buf.Bytes())
+
+	snap, err := persist.ReadSnapshot(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	if snap.Quant != nil {
+		t.Fatal("version-1 snapshot decoded a quantized filter section")
+	}
+
+	loaded, err := LoadEngine(bytes.NewReader(v1), eng.Cost(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := loaded.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stages[0].Name != "Q-Red-IM" {
+		t.Fatalf("v1-loaded engine stage chain starts with %q, want Q-Red-IM (rebuilt)", stats.Stages[0].Name)
+	}
+	for i := range want {
+		if got[i].Index != want[i].Index || got[i].Dist != want[i].Dist {
+			t.Fatalf("result %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if m := loaded.Metrics(); m.QuantizedReuses != 0 {
+		t.Errorf("QuantizedReuses = %d, want 0 (nothing to adopt in a v1 file)", m.QuantizedReuses)
+	}
+}
+
+// TestLoadRejectsBadQuantSection covers CRC-valid but semantically
+// invalid quantized-filter sections: the frame decodes fine, so only
+// load-time re-validation stands between the bytes and a silently
+// wrong (or panicking) first filter stage. Every case must fail with
+// ErrCorrupt.
+func TestLoadRejectsBadQuantSection(t *testing.T) {
+	opts := Options{ReducedDims: 6, SampleSize: 8}
+	eng, queries := buildEngine(t, opts, 30)
+	if _, _, err := eng.KNN(queries[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if snap, err := persist.ReadSnapshot(bytes.NewReader(raw)); err != nil || snap.Quant == nil {
+		t.Fatalf("fixture snapshot unusable: err=%v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(q *persist.QuantSection)
+	}{
+		{"item count mismatch", func(q *persist.QuantSection) { q.N++ }},
+		{"negative scale", func(q *persist.QuantSection) { q.Scales[0] = -1 }},
+		{"NaN margin", func(q *persist.QuantSection) { q.Margins[0] = math.NaN() }},
+		{"missing column", func(q *persist.QuantSection) { q.Cols = q.Cols[:len(q.Cols)-1] }},
+		{"negative quantum", func(q *persist.QuantSection) { q.Cols[0][0] = -5 }},
+		{"infinite cost maximum", func(q *persist.QuantSection) { q.CostMax = math.Inf(1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap, err := persist.ReadSnapshot(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(snap.Quant)
+			var out bytes.Buffer
+			if err := persist.WriteSnapshot(&out, snap); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadEngine(&out, eng.Cost(), opts); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}

@@ -62,7 +62,7 @@ func TestQueryStatsStagesDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkStageAccounting(t, eng, stats, []string{"Red-IM", "Red-EMD"})
+	checkStageAccounting(t, eng, stats, []string{"Q-Red-IM", "Red-IM", "Red-EMD"})
 }
 
 func TestQueryStatsStagesAsymmetric(t *testing.T) {
@@ -71,7 +71,7 @@ func TestQueryStatsStagesAsymmetric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkStageAccounting(t, eng, stats, []string{"Red-IM", "Asym-Red-EMD"})
+	checkStageAccounting(t, eng, stats, []string{"Q-Red-IM", "Red-IM", "Asym-Red-EMD"})
 }
 
 func TestQueryStatsStagesHierarchy(t *testing.T) {
@@ -80,7 +80,7 @@ func TestQueryStatsStagesHierarchy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkStageAccounting(t, eng, stats, []string{"Red-IM", "Red-EMD-2", "Red-EMD-8"})
+	checkStageAccounting(t, eng, stats, []string{"Q-Red-IM", "Red-IM", "Red-EMD-2", "Red-EMD-8"})
 }
 
 func TestQueryStatsStagesNoIM(t *testing.T) {

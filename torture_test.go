@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"emdsearch/internal/persist"
 )
 
 // The recovery torture harness. Every test here simulates crashes and
@@ -302,5 +304,52 @@ func copyIfExists(t *testing.T, src, dst string) {
 	}
 	if err := os.WriteFile(dst, data, 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTortureSnapshotQuantFlipMatrix repeats the snapshot flip matrix
+// over a file that carries the version-2 quantized-filter section, so
+// the damage sweep covers the int16 column frames too. Every flip must
+// fail typed — a flip the CRC somehow forgave would plant a wrong
+// filter into the first stage and silently corrupt query answers.
+func TestTortureSnapshotQuantFlipMatrix(t *testing.T) {
+	d := 8
+	cost := LinearCost(d)
+	rng := rand.New(rand.NewSource(79))
+	eng, err := NewEngine(cost, Options{ReducedDims: 4, SampleSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := eng.Add(fmt.Sprintf("q%d", i), randHist(rng, d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	// Query once so the engine stashes the quantized filter for Save.
+	if _, _, err := eng.KNN(randHist(rng, d), 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if snap, err := persist.ReadSnapshot(bytes.NewReader(good)); err != nil || snap.Quant == nil {
+		t.Fatalf("fixture snapshot carries no quantized filter (err=%v)", err)
+	}
+
+	for i := 0; i < len(good); i++ {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xff
+		_, err := LoadEngine(bytes.NewReader(mut), cost, Options{ReducedDims: 4, SampleSize: 6})
+		if err == nil {
+			t.Fatalf("flip at byte %d: load accepted a damaged snapshot", i)
+		}
+		if !typedPersistErr(err) {
+			t.Fatalf("flip at byte %d: err = %v, want a typed persistence error", i, err)
+		}
 	}
 }
