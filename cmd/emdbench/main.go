@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine|filter|persist] [-scale full|medium|quick] [-csv] [-seed N]
+//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine|filter|persist|index] [-scale full|medium|quick] [-csv] [-seed N]
 //	         [-dprime D] [-workers N] [-concurrency N] [-timeout D] [-wal FILE] [-out FILE]
 //
 // The full scale approximates the paper's corpus sizes and can take
@@ -31,6 +31,13 @@
 // kernel, and the int16-quantized tangent kernel — over a block-size
 // sweep, verifies the k-NN answers stay bit-identical, and (with
 // -out) writes a JSON report with per-layout throughput and speedups.
+//
+// -exp index benchmarks the metric-index candidate generator: the
+// default scan pipeline versus the M-tree and VP-tree first stages
+// over the same corpora, across corpus sizes and k. It verifies the
+// answers stay bit-identical to the scan baseline, checks nodes
+// expanded per query grow sublinearly in n, and (with -out) writes a
+// JSON report with the end-to-end speedups.
 //
 // -exp persist benchmarks the durability layer: atomic snapshot
 // save/load, fsynced write-ahead-log append throughput, checkpoint
@@ -102,6 +109,34 @@ func main() {
 		}
 		if err := runPersist(pc); err != nil {
 			fmt.Fprintf(os.Stderr, "emdbench: persist: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *expFlag == "index" {
+		// Two smooth mixture modes keep the intrinsic dimensionality low
+		// — the regime a metric index is for. High-intrinsic-dim corpora
+		// stay on the scan path (that is what IndexAuto checks).
+		ic := indexConfig{
+			scales: []int{2000, 10000}, d: 32, modes: 2,
+			queries: 20, ks: []int{1, 10},
+			seed: *seedFlag, out: *outFlag,
+		}
+		switch *scaleFlag {
+		case "full":
+			ic.scales = []int{10000, 100000}
+			ic.queries = 40
+		case "medium":
+			ic.scales = []int{5000, 20000}
+			ic.queries = 30
+		case "quick":
+		default:
+			fmt.Fprintf(os.Stderr, "emdbench: unknown scale %q (want full, medium or quick)\n", *scaleFlag)
+			os.Exit(2)
+		}
+		if err := runIndex(ic); err != nil {
+			fmt.Fprintf(os.Stderr, "emdbench: index: %v\n", err)
 			os.Exit(1)
 		}
 		return

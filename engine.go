@@ -104,6 +104,25 @@ type Options struct {
 	// PositionNorm is the Lp order of the position-based ground
 	// distance (default 2). Ignored without Positions.
 	PositionNorm float64
+	// IndexKind selects the metric-index candidate generator that can
+	// replace the linear filter scan with a best-first tree traversal
+	// over the reduced EMD (under the metric closure of its ground
+	// matrix, so pruning is sound). Candidates are emitted in
+	// nondecreasing lower-bound order, so answers are provably
+	// identical to the scan path's. IndexAuto ("") builds an M-tree
+	// when the corpus looks indexable and falls back to the scan per
+	// query when it does not; IndexMTree/IndexVPTree force a kind;
+	// IndexOff disables the stage. Ignored (no index is built) for
+	// hierarchical cascades, asymmetric queries and Positions-based
+	// rankings, which keep their own orderings.
+	IndexKind string
+	// FourPoint additionally enables supermetric (four-point property)
+	// pruning in the VP-tree traversal. The reduced EMD is not
+	// guaranteed supermetric, so the property is verified on sampled
+	// data quadruples at build time and the stronger pruning is
+	// silently dropped if any sample violates it. Only meaningful with
+	// IndexKind == IndexVPTree.
+	FourPoint bool
 	// Workers bounds the goroutines used for the exact-EMD refinement
 	// stage of a single KNN or Range query: 0 or 1 runs sequentially,
 	// n > 1 uses up to n goroutines, and a negative value uses
@@ -184,6 +203,13 @@ type Engine struct {
 	savedQuant     *colscan.Quantized
 	savedQuantHash uint64
 
+	// savedIndex is the metric index retained across pipeline rebuilds
+	// (and restored from persisted snapshots), reused when its
+	// fingerprint still matches the live data; indexRebuilding
+	// serializes the churn-triggered background rebuild.
+	savedIndex      *savedIndex
+	indexRebuilding bool
+
 	metrics engineMetrics
 }
 
@@ -219,6 +245,10 @@ type snapshot struct {
 	// hook is Options.RefineHook, captured at build time; nil outside
 	// fault-injection runs.
 	hook func(index int)
+
+	// index is the metric-index candidate generator state, nil when no
+	// index is attached to this snapshot.
+	index *engineIndex
 
 	// greedy hands out per-goroutine clones of the greedy-flow upper
 	// bound (its scratch buffer is not safe for concurrent use).
@@ -342,6 +372,10 @@ func NewEngine(cost CostMatrix, opts Options) (*Engine, error) {
 	}
 	if opts.ReducedDims < 0 || opts.ReducedDims > rows {
 		return nil, fmt.Errorf("emdsearch: ReducedDims %d out of range [0, %d]", opts.ReducedDims, rows)
+	}
+	if !validIndexKind(opts.IndexKind) {
+		return nil, fmt.Errorf("emdsearch: IndexKind %q, want one of %q, %q, %q, %q",
+			opts.IndexKind, IndexAuto, IndexMTree, IndexVPTree, IndexOff)
 	}
 	if len(opts.Hierarchy) > 0 {
 		sorted := append([]int(nil), opts.Hierarchy...)
@@ -858,6 +892,9 @@ func (e *Engine) buildSnapshotLocked() (*snapshot, error) {
 			}
 			s.Stages = append(s.Stages, stage)
 		}
+	}
+	if err := e.attachIndexLocked(snap, s); err != nil {
+		return nil, err
 	}
 	snap.searcher = s
 	return snap, nil

@@ -1,0 +1,498 @@
+package emdsearch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"emdsearch/internal/persist"
+)
+
+// indexOpts returns a forced-index engine configuration over the
+// shared seeded dataset.
+func indexOpts(kind string) Options {
+	return Options{ReducedDims: 8, SampleSize: 10, IndexKind: kind}
+}
+
+func TestNewEngineIndexKindValidation(t *testing.T) {
+	if _, err := NewEngine(LinearCost(4), Options{ReducedDims: 2, IndexKind: "bogus"}); err == nil {
+		t.Error("accepted unknown IndexKind")
+	}
+	for _, kind := range []string{IndexAuto, IndexMTree, IndexVPTree, IndexOff} {
+		if _, err := NewEngine(LinearCost(4), Options{ReducedDims: 2, IndexKind: kind}); err != nil {
+			t.Errorf("rejected valid IndexKind %q: %v", kind, err)
+		}
+	}
+}
+
+// TestIndexDeleteThenKNN is the Delete-then-query regression through
+// the index path: soft-deleted items are in the persisted-shape tree
+// but must be filtered at emission, so they can never surface in any
+// answer, and the answers must match a scan engine with the same
+// deletes bit for bit.
+func TestIndexDeleteThenKNN(t *testing.T) {
+	const n, k = 120, 6
+	for _, kind := range []string{IndexMTree, IndexVPTree} {
+		t.Run(kind, func(t *testing.T) {
+			scan, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 10}, n)
+			eng, _ := buildEngine(t, indexOpts(kind), n)
+			// First query builds the tree over all live items...
+			if _, _, err := eng.KNN(queries[0], k); err != nil {
+				t.Fatal(err)
+			}
+			// ...then deletes punch holes the traversal must skip.
+			dead := []int{3, 11, 42, 43, 77}
+			for _, id := range dead {
+				if err := eng.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+				if err := scan.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for qi, q := range queries {
+				want, _, err := scan.KNN(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, stats, err := eng.KNN(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !stats.IndexUsed {
+					t.Fatalf("query %d: forced %s index not used", qi, kind)
+				}
+				sameResults(t, kind, "KNN", got, want)
+				for _, r := range got {
+					for _, id := range dead {
+						if r.Index == id {
+							t.Fatalf("query %d returned deleted item %d", qi, id)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIndexAutoDeclinesSmallCorpus: auto mode must not pay tree-build
+// or traversal costs on a corpus far below the break-even size — the
+// normal stage chain serves the query.
+func TestIndexAutoDeclinesSmallCorpus(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 10, IndexKind: IndexAuto}, 100)
+	_, stats, err := eng.KNN(queries[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IndexUsed {
+		t.Fatal("auto mode used an index on a 100-item corpus")
+	}
+	if m := eng.Metrics(); m.IndexBuilds != 0 {
+		t.Fatalf("IndexBuilds = %d, want 0", m.IndexBuilds)
+	}
+	checkStageAccounting(t, eng, stats, []string{"Q-Red-IM", "Red-IM", "Red-EMD"})
+}
+
+// TestIndexOffDisables: IndexOff must behave exactly like the
+// pre-index engine.
+func TestIndexOffDisables(t *testing.T) {
+	eng, queries := buildEngine(t, Options{ReducedDims: 8, SampleSize: 10, IndexKind: IndexOff}, 60)
+	_, stats, err := eng.KNN(queries[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IndexUsed || eng.Metrics().IndexBuilds != 0 {
+		t.Fatal("IndexOff still built or used an index")
+	}
+}
+
+// TestIndexIncrementalReuse: mutations must not throw the M-tree away.
+// Adding items reuses the stashed tree via clone-and-insert; the
+// grown index answers identically to a scan engine over the same data.
+func TestIndexIncrementalReuse(t *testing.T) {
+	const n, k = 100, 5
+	eng, queries := buildEngine(t, indexOpts(IndexMTree), n)
+	scan, _ := buildEngine(t, Options{ReducedDims: 8, SampleSize: 10}, n)
+	if _, _, err := eng.KNN(queries[0], k); err != nil {
+		t.Fatal(err)
+	}
+	if m := eng.Metrics(); m.IndexBuilds != 1 || m.IndexReuses != 0 {
+		t.Fatalf("after first query: builds=%d reuses=%d, want 1/0", m.IndexBuilds, m.IndexReuses)
+	}
+	// Grow both engines with identical new items.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 10; i++ {
+		h := randHist(rng, eng.Dim())
+		if _, err := eng.Add(fmt.Sprintf("new%d", i), h); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := scan.Add(fmt.Sprintf("new%d", i), h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range queries {
+		want, _, err := scan.KNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := eng.KNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.IndexUsed {
+			t.Fatal("index not used after incremental growth")
+		}
+		sameResults(t, "mtree-grown", "KNN", got, want)
+	}
+	m := eng.Metrics()
+	if m.IndexBuilds != 1 {
+		t.Errorf("IndexBuilds = %d, want 1 (growth must reuse, not rebuild)", m.IndexBuilds)
+	}
+	if m.IndexReuses < 1 {
+		t.Errorf("IndexReuses = %d, want >= 1", m.IndexReuses)
+	}
+	if m.IndexQueries < int64(len(queries)) {
+		t.Errorf("IndexQueries = %d, want >= %d", m.IndexQueries, len(queries))
+	}
+	if m.IndexNodesVisited <= 0 {
+		t.Errorf("IndexNodesVisited = %d, want > 0", m.IndexNodesVisited)
+	}
+}
+
+// TestIndexChurnBackgroundRebuild: deleting past the churn threshold
+// triggers a background rebuild that compacts the soft-deleted tail
+// out of the tree; queries stay correct before, during and after.
+func TestIndexChurnBackgroundRebuild(t *testing.T) {
+	const n, k = 90, 4
+	eng, queries := buildEngine(t, indexOpts(IndexMTree), n)
+	scan, _ := buildEngine(t, Options{ReducedDims: 8, SampleSize: 10}, n)
+	if _, _, err := eng.KNN(queries[0], k); err != nil {
+		t.Fatal(err)
+	}
+	// Delete 40% of the corpus — far past the 30% churn threshold.
+	for id := 0; id < 36; id++ {
+		if err := eng.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := scan.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// This query reuses the stale tree (still correct: deleted items
+	// are skipped at emission) and kicks off the background rebuild.
+	want, _, err := scan.KNN(queries[0], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := eng.KNN(queries[0], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.IndexUsed {
+		t.Fatal("index not used on the churned tree")
+	}
+	sameResults(t, "mtree-churned", "KNN", got, want)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Metrics().IndexBuilds < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background rebuild did not complete: builds=%d", eng.Metrics().IndexBuilds)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Post-rebuild queries run the compacted tree and stay identical.
+	for _, q := range queries {
+		want, _, err := scan.KNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := eng.KNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.IndexUsed {
+			t.Fatal("index not used after rebuild")
+		}
+		sameResults(t, "mtree-rebuilt", "KNN", got, want)
+	}
+}
+
+// TestSaveLoadIndexSection round-trips the metric index through the
+// version-3 snapshot: the saved tree must be adopted on load (no
+// rebuild), the loaded engine must answer identically, and a kind or
+// fingerprint mismatch must fall back to a silent rebuild — never an
+// error, never a wrong answer.
+func TestSaveLoadIndexSection(t *testing.T) {
+	opts := indexOpts(IndexMTree)
+	eng, queries := buildEngine(t, opts, 80)
+	q := queries[0]
+	want, _, err := eng.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	snap, err := persist.ReadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Index == nil {
+		t.Fatal("snapshot of a queried indexed engine carries no index section")
+	}
+	if snap.Index.Kind != IndexMTree || snap.Index.N != eng.Len() {
+		t.Fatalf("index section kind=%q N=%d, want %q/%d", snap.Index.Kind, snap.Index.N, IndexMTree, eng.Len())
+	}
+
+	loaded, err := LoadEngine(bytes.NewReader(raw), eng.Cost(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := loaded.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.IndexUsed {
+		t.Fatal("loaded engine did not use the index")
+	}
+	sameResults(t, "loaded", "KNN", got, want)
+	if m := loaded.Metrics(); m.IndexReuses != 1 || m.IndexBuilds != 0 {
+		t.Errorf("loaded engine reuses=%d builds=%d, want 1/0 (saved tree adopted)", m.IndexReuses, m.IndexBuilds)
+	}
+
+	// Kind mismatch: the caller now wants a VP-tree; the saved M-tree
+	// is silently discarded and a fresh tree built.
+	vpOpts := indexOpts(IndexVPTree)
+	vpLoaded, err := LoadEngine(bytes.NewReader(raw), eng.Cost(), vpOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err = vpLoaded.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.IndexUsed {
+		t.Fatal("kind-mismatched load did not build a fresh index")
+	}
+	sameResults(t, "vp-rebuilt", "KNN", got, want)
+	if m := vpLoaded.Metrics(); m.IndexReuses != 0 || m.IndexBuilds != 1 {
+		t.Errorf("kind mismatch reuses=%d builds=%d, want 0/1", m.IndexReuses, m.IndexBuilds)
+	}
+
+	// Fingerprint mismatch: a snapshot whose index section carries a
+	// foreign reduction hash decodes fine but must be rebuilt, not
+	// trusted.
+	stale, err := persist.ReadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale.Index.RedHash ^= 0xdeadbeef
+	var staleBuf bytes.Buffer
+	if err := persist.WriteSnapshot(&staleBuf, stale); err != nil {
+		t.Fatal(err)
+	}
+	staleLoaded, err := LoadEngine(bytes.NewReader(staleBuf.Bytes()), eng.Cost(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = staleLoaded.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "stale-hash", "KNN", got, want)
+	if m := staleLoaded.Metrics(); m.IndexReuses != 0 || m.IndexBuilds != 1 {
+		t.Errorf("fingerprint mismatch reuses=%d builds=%d, want 0/1 (silent rebuild)", m.IndexReuses, m.IndexBuilds)
+	}
+}
+
+// snapshotAsV2 rewrites a current-format snapshot as a version-2 file:
+// the version word is patched and the sixth (metric index) frame
+// dropped. Frame lengths are self-describing.
+func snapshotAsV2(t *testing.T, v3 []byte) []byte {
+	t.Helper()
+	off := len(persist.Magic) + 4
+	for f := 0; f < 5; f++ {
+		if off+12 > len(v3) {
+			t.Fatalf("snapshot too short walking frame %d", f)
+		}
+		length := binary.LittleEndian.Uint32(v3[off:])
+		off += 12 + int(length)
+	}
+	v2 := append([]byte(nil), v3[:off]...)
+	binary.LittleEndian.PutUint32(v2[len(persist.Magic):], 2)
+	return v2
+}
+
+// TestLoadV2SnapshotIndexCompat: a version-2 file (no index frame)
+// must load cleanly; an index-configured engine rebuilds the tree from
+// the items and answers identically.
+func TestLoadV2SnapshotIndexCompat(t *testing.T) {
+	opts := indexOpts(IndexMTree)
+	eng, queries := buildEngine(t, opts, 50)
+	q := queries[0]
+	want, _, err := eng.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := snapshotAsV2(t, buf.Bytes())
+
+	snap, err := persist.ReadSnapshot(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatalf("version-2 snapshot rejected: %v", err)
+	}
+	if snap.Index != nil {
+		t.Fatal("version-2 snapshot decoded an index section")
+	}
+	loaded, err := LoadEngine(bytes.NewReader(v2), eng.Cost(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := loaded.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.IndexUsed {
+		t.Fatal("v2-loaded engine did not rebuild the index")
+	}
+	sameResults(t, "v2", "KNN", got, want)
+	if m := loaded.Metrics(); m.IndexBuilds != 1 || m.IndexReuses != 0 {
+		t.Errorf("v2 load builds=%d reuses=%d, want 1/0", m.IndexBuilds, m.IndexReuses)
+	}
+}
+
+// TestLoadRejectsBadIndexSection covers CRC-valid but semantically
+// damaged index sections: the frame decodes fine, so only load-time
+// re-validation stands between the bytes and a structurally broken
+// tree in the query path. Every case must fail with ErrCorrupt.
+func TestLoadRejectsBadIndexSection(t *testing.T) {
+	opts := indexOpts(IndexMTree)
+	eng, _ := buildEngine(t, opts, 40)
+	if _, _, err := eng.KNN(randHist(rand.New(rand.NewSource(3)), eng.Dim()), 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	fresh := func() *persist.Snapshot {
+		s, err := persist.ReadSnapshot(bytes.NewReader(good))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Index == nil {
+			t.Fatal("fixture carries no index section")
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		mutate func(s *persist.Snapshot)
+	}{
+		{"unknown kind", func(s *persist.Snapshot) { s.Index.Kind = "rtree" }},
+		{"coverage mismatch", func(s *persist.Snapshot) { s.Index.N-- }},
+		{"negative deleted count", func(s *persist.Snapshot) { s.Index.DeletedAtBuild = -1 }},
+		{"garbage blob", func(s *persist.Snapshot) { s.Index.Blob = []byte{0xff, 0x00, 0x13} }},
+		{"truncated blob", func(s *persist.Snapshot) { s.Index.Blob = s.Index.Blob[:len(s.Index.Blob)/2] }},
+	}
+	for _, c := range cases {
+		s := fresh()
+		c.mutate(s)
+		var mut bytes.Buffer
+		if err := persist.WriteSnapshot(&mut, s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadEngine(bytes.NewReader(mut.Bytes()), eng.Cost(), opts); err == nil {
+			t.Errorf("%s: load accepted a damaged index section", c.name)
+		}
+	}
+	if _, err := LoadEngine(bytes.NewReader(good), eng.Cost(), opts); err != nil {
+		t.Fatalf("unmutated snapshot rejected: %v", err)
+	}
+}
+
+// TestFourPointGateRejectsNonSupermetric drives the engine's sampled
+// four-point gate directly: the C4 cycle's shortest-path metric is a
+// genuine metric without the four-point property, so the gate must
+// refuse it, while a line metric (isometrically embeddable in R) must
+// pass.
+func TestFourPointGateRejectsNonSupermetric(t *testing.T) {
+	c4 := func(i, j int) float64 {
+		d := i - j
+		if d < 0 {
+			d = -d
+		}
+		if 4-d < d {
+			d = 4 - d
+		}
+		return float64(d)
+	}
+	rng := rand.New(rand.NewSource(7))
+	if fourPointHolds([]int{0, 1, 2, 3}, c4, rng) {
+		t.Error("gate accepted the C4 shortest-path metric")
+	}
+	line := func(i, j int) float64 { return math.Abs(float64(i - j)) }
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if !fourPointHolds(ids, line, rand.New(rand.NewSource(8))) {
+		t.Error("gate rejected a line metric, which embeds in R")
+	}
+}
+
+// TestTortureSnapshotIndexFlipMatrix repeats the snapshot flip matrix
+// over a version-3 file carrying the metric-index section, so the
+// damage sweep covers the gob-encoded tree frame too. Every flip must
+// fail typed — a flip the CRC forgave would plant a structurally
+// broken tree into the candidate generator.
+func TestTortureSnapshotIndexFlipMatrix(t *testing.T) {
+	d := 8
+	cost := LinearCost(d)
+	rng := rand.New(rand.NewSource(83))
+	opts := Options{ReducedDims: 4, SampleSize: 6, IndexKind: IndexMTree}
+	eng, err := NewEngine(cost, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := eng.Add(fmt.Sprintf("q%d", i), randHist(rng, d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	// Query once so the engine stashes the built tree for Save.
+	if _, _, err := eng.KNN(randHist(rng, d), 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if snap, err := persist.ReadSnapshot(bytes.NewReader(good)); err != nil || snap.Index == nil {
+		t.Fatalf("fixture snapshot carries no index section (err=%v)", err)
+	}
+
+	for i := 0; i < len(good); i++ {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xff
+		_, err := LoadEngine(bytes.NewReader(mut), cost, opts)
+		if err == nil {
+			t.Fatalf("flip at byte %d: load accepted a damaged snapshot", i)
+		}
+		if !typedPersistErr(err) {
+			t.Fatalf("flip at byte %d: err = %v, want a typed persistence error", i, err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package fourpoint implements the supermetric (four-point property)
+// lower bound of Connor et al. (arXiv:1707.08370) for two-pivot metric
+// pruning. A metric space has the four-point property when any four
+// points embed isometrically in 3-dimensional Euclidean space; all
+// Euclidean spaces and many practically-important metrics qualify.
+// For such spaces, placing two pivots p and v on a planar axis and
+// projecting any other point to its "apex" coordinates (preserving its
+// distances to both pivots, with a non-negative second coordinate)
+// yields the Hilbert-exclusion bound: the true distance between two
+// points is at least the planar distance between their apexes.
+//
+// The EMD is not guaranteed to be supermetric, so the engine verifies
+// the property on sampled quadruples before enabling this bound and
+// falls back to plain triangle pruning otherwise.
+package fourpoint
+
+import "math"
+
+// LowerBound returns a certified lower bound on d(q, s) for an
+// unevaluated point s, given two pivots p and v with pivot distance
+// dpv = d(p, v), the query's pivot distances dqp = d(q, p) and
+// dqv = d(q, v), and interval knowledge of s's pivot distances:
+// d(p, s) in [alo, ahi] and d(v, s) in [blo, bhi].
+//
+// It requires the four-point property to hold among {p, v, q, s}; the
+// result is the minimum planar distance from q's apex to the region of
+// apexes consistent with s's annuli, never less than the plain
+// triangle-inequality bound (which is returned as a floor, so the
+// function degrades gracefully when the planar geometry is degenerate:
+// dpv non-positive or NaN inputs).
+func LowerBound(dpv, dqp, dqv, alo, ahi, blo, bhi float64) float64 {
+	tri := 0.0
+	for _, b := range [4]float64{alo - dqp, dqp - ahi, blo - dqv, dqv - bhi} {
+		if b > tri {
+			tri = b
+		}
+	}
+	if !(dpv > 0) || math.IsNaN(dqp) || math.IsNaN(dqv) ||
+		math.IsNaN(alo) || math.IsNaN(ahi) || math.IsNaN(blo) || math.IsNaN(bhi) {
+		return tri
+	}
+	// Tolerance for feasibility checks. Inclusive checks and clamped
+	// intersections can only ADD candidate points, which only lowers
+	// the reported bound — the conservative, sound direction.
+	eps := 1e-9 * (dpv + dqp + dqv + ahi + bhi)
+
+	// q's apex: distance dqp from p = (0,0) and dqv from v = (dpv, 0),
+	// second coordinate non-negative.
+	qx := (dqp*dqp + dpv*dpv - dqv*dqv) / (2 * dpv)
+	qy2 := dqp*dqp - qx*qx
+	if qy2 < 0 {
+		qy2 = 0
+	}
+	qy := math.Sqrt(qy2)
+
+	feasA := func(x, y float64) bool {
+		r := math.Hypot(x, y)
+		return r >= alo-eps && r <= ahi+eps
+	}
+	feasB := func(x, y float64) bool {
+		r := math.Hypot(x-dpv, y)
+		return r >= blo-eps && r <= bhi+eps
+	}
+	// If q's own apex satisfies both annuli the region contains it and
+	// the geometric bound is zero.
+	if feasA(qx, qy) && feasB(qx, qy) {
+		return tri
+	}
+
+	// The minimizer over the (closed) region lies on its boundary:
+	// on the interior of one of the four bounding circle arcs (then it
+	// is q's projection onto that circle), at an arc corner (a
+	// circle-circle intersection), on the axis (then it is q's axis
+	// projection or a circle-axis point). Enumerate them all; extra or
+	// infeasible candidates only lower the bound.
+	best := math.Inf(1)
+	consider := func(x, y float64) {
+		if d := math.Hypot(qx-x, qy-y); d < best {
+			best = d
+		}
+	}
+	project := func(cx, r float64, otherOK func(x, y float64) bool) {
+		dx, dy := qx-cx, qy
+		n := math.Hypot(dx, dy)
+		var px, py float64
+		if n == 0 {
+			px, py = cx+r, 0
+		} else {
+			px, py = cx+r*dx/n, r*dy/n
+		}
+		if otherOK(px, py) {
+			consider(px, py)
+		}
+	}
+	project(0, alo, feasB)
+	project(0, ahi, feasB)
+	project(dpv, blo, feasA)
+	project(dpv, bhi, feasA)
+	corner := func(ra, rb float64) {
+		x := (ra*ra + dpv*dpv - rb*rb) / (2 * dpv)
+		y2 := ra*ra - x*x
+		if y2 < 0 {
+			y2 = 0 // clamped near-tangency: extra candidate, still sound
+		}
+		consider(x, math.Sqrt(y2))
+	}
+	for _, ra := range [2]float64{alo, ahi} {
+		for _, rb := range [2]float64{blo, bhi} {
+			corner(ra, rb)
+		}
+	}
+	axis := func(x float64) {
+		if feasA(x, 0) && feasB(x, 0) {
+			consider(x, 0)
+		}
+	}
+	for _, x := range [9]float64{alo, -alo, ahi, -ahi, dpv - blo, dpv + blo, dpv - bhi, dpv + bhi, qx} {
+		axis(x)
+	}
+	if best > tri {
+		return best
+	}
+	return tri
+}
+
+// Holds reports whether the four-point property is consistent for one
+// quadruple {p, v, q, s} with exact pairwise distances: the point-wise
+// LowerBound (degenerate annuli) must not exceed the true d(q, s) by
+// more than tol. The engine samples this over database quadruples to
+// gate supermetric pruning.
+func Holds(dpv, dqp, dqv, dps, dvs, dqs, tol float64) bool {
+	return LowerBound(dpv, dqp, dqv, dps, dps, dvs, dvs) <= dqs+tol
+}

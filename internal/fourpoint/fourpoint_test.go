@@ -1,0 +1,137 @@
+package fourpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+type pt struct{ x, y float64 }
+
+func dist(a, b pt) float64 { return math.Hypot(a.x-b.x, a.y-b.y) }
+
+// TestLowerBoundSoundEuclidean checks that on true 2-D Euclidean data
+// (where the four-point property holds exactly) the bound never
+// exceeds the real distance, for degenerate point annuli.
+func TestLowerBoundSoundEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	rp := func() pt { return pt{rng.Float64()*10 - 5, rng.Float64()*10 - 5} }
+	for trial := 0; trial < 5000; trial++ {
+		p, v, q, s := rp(), rp(), rp(), rp()
+		lb := LowerBound(dist(p, v), dist(q, p), dist(q, v),
+			dist(p, s), dist(p, s), dist(v, s), dist(v, s))
+		if d := dist(q, s); lb > d+1e-9 {
+			t.Fatalf("trial %d: LowerBound = %g > d(q,s) = %g (p=%v v=%v q=%v s=%v)",
+				trial, lb, d, p, v, q, s)
+		}
+	}
+}
+
+// TestLowerBoundSoundIntervalAnnuli checks soundness when s is only
+// known through interval annuli covering a whole point set, the way
+// tree nodes summarize their subtrees.
+func TestLowerBoundSoundIntervalAnnuli(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	rp := func() pt { return pt{rng.Float64()*10 - 5, rng.Float64()*10 - 5} }
+	for trial := 0; trial < 1000; trial++ {
+		p, v, q := rp(), rp(), rp()
+		m := 2 + rng.Intn(8)
+		pts := make([]pt, m)
+		alo, ahi := math.Inf(1), math.Inf(-1)
+		blo, bhi := math.Inf(1), math.Inf(-1)
+		minD := math.Inf(1)
+		for i := range pts {
+			pts[i] = rp()
+			da, db := dist(p, pts[i]), dist(v, pts[i])
+			alo, ahi = math.Min(alo, da), math.Max(ahi, da)
+			blo, bhi = math.Min(blo, db), math.Max(bhi, db)
+			minD = math.Min(minD, dist(q, pts[i]))
+		}
+		lb := LowerBound(dist(p, v), dist(q, p), dist(q, v), alo, ahi, blo, bhi)
+		if lb > minD+1e-9 {
+			t.Fatalf("trial %d: LowerBound = %g > min d(q,s) = %g", trial, lb, minD)
+		}
+	}
+}
+
+// TestLowerBoundExactSameSide: with degenerate annuli and both q and s
+// in the upper half-plane between two axis pivots, the planar bound
+// equals the exact distance — the candidate enumeration is complete.
+func TestLowerBoundExactSameSide(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 2000; trial++ {
+		dpv := 1 + rng.Float64()*9
+		p := pt{0, 0}
+		v := pt{dpv, 0}
+		q := pt{rng.Float64()*14 - 2, rng.Float64() * 8}
+		s := pt{rng.Float64()*14 - 2, rng.Float64() * 8}
+		lb := LowerBound(dpv, dist(q, p), dist(q, v),
+			dist(p, s), dist(p, s), dist(v, s), dist(v, s))
+		if d := dist(q, s); math.Abs(lb-d) > 1e-6*(1+d) {
+			t.Fatalf("trial %d: LowerBound = %g, want exact %g (q=%v s=%v dpv=%g)",
+				trial, lb, d, q, s, dpv)
+		}
+	}
+}
+
+// TestLowerBoundBeatsTriangle pins a configuration where the
+// supermetric bound is strictly tighter than both triangle bounds:
+// q hovers above the midpoint of two pivots 2 apart, s sits at the
+// midpoint (distance 1 from each pivot).
+func TestLowerBoundBeatsTriangle(t *testing.T) {
+	dq := math.Sqrt(26) // d(q, p) = d(q, v) for q = (1, 5)
+	lb := LowerBound(2, dq, dq, 1, 1, 1, 1)
+	tri := dq - 1 // best triangle bound, about 4.099
+	if lb <= tri {
+		t.Fatalf("LowerBound = %g, not better than triangle %g", lb, tri)
+	}
+	if math.Abs(lb-5) > 1e-9 {
+		t.Fatalf("LowerBound = %g, want 5 (planar distance to the midpoint)", lb)
+	}
+}
+
+// TestLowerBoundDegenerateFallsBackToTriangle covers inputs where the
+// planar construction is unavailable.
+func TestLowerBoundDegenerateFallsBackToTriangle(t *testing.T) {
+	cases := []struct {
+		name                                   string
+		dpv, dqp, dqv, alo, ahi, blo, bhi, min float64
+	}{
+		{"zero pivot distance", 0, 5, 5, 1, 2, 1, 2, 3},
+		{"nan pivot distance", math.NaN(), 5, 5, 1, 2, 1, 2, 3},
+		{"nan annulus", 2, 5, 5, math.NaN(), math.NaN(), 1, 2, 3},
+		{"inside both annuli", 2, 1.5, 1.5, 1, 2, 1, 2, 0},
+	}
+	for _, c := range cases {
+		lb := LowerBound(c.dpv, c.dqp, c.dqv, c.alo, c.ahi, c.blo, c.bhi)
+		if lb != c.min {
+			t.Errorf("%s: LowerBound = %g, want %g", c.name, lb, c.min)
+		}
+	}
+}
+
+// TestHoldsDetectsFourCycleViolation: the shortest-path metric of the
+// 4-cycle with unit edges is a metric WITHOUT the four-point property.
+// With pivots a, b and points c, d the planar apexes land 3 apart while
+// the true distance is 1 — Holds must flag it, which is what lets the
+// engine refuse supermetric pruning on such spaces.
+func TestHoldsDetectsFourCycleViolation(t *testing.T) {
+	// d(a,b)=d(b,c)=d(c,d)=d(d,a)=1, d(a,c)=d(b,d)=2
+	dpv := 1.0 // d(a, b)
+	dqp := 2.0 // d(c, a)
+	dqv := 1.0 // d(c, b)
+	dps := 1.0 // d(a, d)
+	dvs := 2.0 // d(b, d)
+	dqs := 1.0 // d(c, d)
+	if lb := LowerBound(dpv, dqp, dqv, dps, dps, dvs, dvs); math.Abs(lb-3) > 1e-9 {
+		t.Fatalf("LowerBound = %g, want 3 (apexes at (2,0) and (-1,0))", lb)
+	}
+	if Holds(dpv, dqp, dqv, dps, dvs, dqs, 1e-9) {
+		t.Fatal("Holds accepted a quadruple violating the four-point property")
+	}
+	// The same quadruple in Euclidean position passes.
+	p, v, q, s := pt{0, 0}, pt{1, 0}, pt{2, 0}, pt{0, 1}
+	if !Holds(dist(p, v), dist(q, p), dist(q, v), dist(p, s), dist(v, s), dist(q, s), 1e-9) {
+		t.Fatal("Holds rejected a Euclidean quadruple")
+	}
+}

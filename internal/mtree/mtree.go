@@ -14,11 +14,12 @@
 package mtree
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+
+	"emdsearch/internal/heapx"
 )
 
 // DistFunc is the metric between two indexed objects.
@@ -33,6 +34,7 @@ type Tree struct {
 	capacity int
 	root     *node
 	size     int
+	nodes    int // total node count, for pruning statistics
 	rng      *rand.Rand
 	// DistanceCalls counts metric evaluations during construction.
 	DistanceCalls int
@@ -70,12 +72,17 @@ func New(dist DistFunc, capacity int, rng *rand.Rand) (*Tree, error) {
 		dist:     dist,
 		capacity: capacity,
 		root:     &node{leaf: true},
+		nodes:    1,
 		rng:      rng,
 	}, nil
 }
 
 // Len returns the number of indexed objects.
 func (t *Tree) Len() int { return t.size }
+
+// Nodes returns the total number of tree nodes — the denominator of
+// the "subtrees pruned" statistic a best-first traversal reports.
+func (t *Tree) Nodes() int { return t.nodes }
 
 func (t *Tree) d(i, j int) float64 {
 	t.DistanceCalls++
@@ -161,6 +168,7 @@ func (t *Tree) split(n *node) {
 	objB := entries[bestB].object
 	nodeA := &node{leaf: n.leaf}
 	nodeB := &node{leaf: n.leaf}
+	t.nodes++ // n is replaced by nodeA and nodeB: net one new node
 	var radA, radB float64
 	for _, e := range entries {
 		da := t.d(e.object, objA)
@@ -206,6 +214,7 @@ func (t *Tree) split(n *node) {
 	if parent == nil {
 		// Root split: grow the tree.
 		root := &node{leaf: false}
+		t.nodes++
 		entryA.distPar = math.NaN()
 		entryB.distPar = math.NaN()
 		root.entries = []entry{entryA, entryB}
@@ -266,41 +275,17 @@ type Stats struct {
 	NodesVisited  int
 }
 
-// pqItem is a priority-queue element: either a subtree with a
-// lower-bound distance or not used for results (results tracked
-// separately).
+// pqItem is a priority-queue element: a subtree with a lower-bound
+// distance.
 type pqItem struct {
 	node *node
 	dmin float64
 }
 
-type pq []pqItem
-
-func (h pq) Len() int            { return len(h) }
-func (h pq) Less(i, j int) bool  { return h[i].dmin < h[j].dmin }
-func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pq) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
-func (h *pq) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-// resultHeap keeps the k closest results, furthest on top.
-type resultHeap []Result
-
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	r := old[n-1]
-	*h = old[:n-1]
-	return r
+// newResultHeap returns a typed max-heap on Dist for keeping the k
+// closest results (furthest on top).
+func newResultHeap(k int) *heapx.Heap[Result] {
+	return heapx.New(k+1, func(a, b Result) bool { return a.Dist > b.Dist })
 }
 
 // KNN returns the k nearest objects to the query, exactly, using
@@ -310,23 +295,24 @@ func (t *Tree) KNN(qdist QueryDistFunc, k int) ([]Result, *Stats, error) {
 		return nil, nil, fmt.Errorf("mtree: k = %d, want >= 1", k)
 	}
 	stats := &Stats{}
-	best := make(resultHeap, 0, k+1)
+	best := newResultHeap(k)
 	tau := func() float64 {
-		if len(best) < k {
+		if best.Len() < k {
 			return math.Inf(1)
 		}
-		return best[0].Dist
+		return best.Peek().Dist
 	}
 	add := func(idx int, d float64) {
-		heap.Push(&best, Result{Index: idx, Dist: d})
-		if len(best) > k {
-			heap.Pop(&best)
+		best.Push(Result{Index: idx, Dist: d})
+		if best.Len() > k {
+			best.Pop()
 		}
 	}
 
-	queue := pq{{node: t.root, dmin: 0}}
+	queue := heapx.New[pqItem](16, func(a, b pqItem) bool { return a.dmin < b.dmin })
+	queue.Push(pqItem{node: t.root})
 	for queue.Len() > 0 {
-		it := heap.Pop(&queue).(pqItem)
+		it := queue.Pop()
 		if it.dmin > tau() {
 			break // every remaining subtree is further away
 		}
@@ -355,13 +341,15 @@ func (t *Tree) KNN(qdist QueryDistFunc, k int) ([]Result, *Stats, error) {
 				if dmin < 0 {
 					dmin = 0
 				}
-				heap.Push(&queue, pqItem{node: e.child, dmin: dmin})
+				queue.Push(pqItem{node: e.child, dmin: dmin})
 			}
 		}
 	}
 
-	out := make([]Result, len(best))
-	copy(out, best)
+	out := make([]Result, 0, best.Len())
+	for best.Len() > 0 {
+		out = append(out, best.Pop())
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
 			return out[i].Dist < out[j].Dist

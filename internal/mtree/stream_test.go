@@ -1,0 +1,269 @@
+package mtree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// euclid2D builds an n-point 2-D Euclidean test metric.
+func euclid2D(rng *rand.Rand, n int) ([][2]float64, DistFunc) {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	dist := func(i, j int) float64 {
+		return math.Hypot(pts[i][0]-pts[j][0], pts[i][1]-pts[j][1])
+	}
+	return pts, dist
+}
+
+func buildTestTree(t *testing.T, dist DistFunc, n int, seed int64) *Tree {
+	t.Helper()
+	tr, err := New(dist, 6, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		tr.Insert(i)
+	}
+	return tr
+}
+
+// drainStream collects all emissions, asserting monotone distances.
+func drainStream(t *testing.T, s *Stream) []Result {
+	t.Helper()
+	var out []Result
+	prev := math.Inf(-1)
+	for {
+		r, ok := s.Next()
+		if !ok {
+			return out
+		}
+		if r.Dist < prev {
+			t.Fatalf("emission %d: Dist %g < previous %g", len(out), r.Dist, prev)
+		}
+		prev = r.Dist
+		out = append(out, r)
+	}
+}
+
+func TestStreamEmitsAllInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		pts, dist := euclid2D(rng, n)
+		tr := buildTestTree(t, dist, n, int64(trial))
+		q := [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+		qdist := func(i int) float64 {
+			return math.Hypot(q[0]-pts[i][0], q[1]-pts[i][1])
+		}
+		got := drainStream(t, tr.Stream(qdist, nil))
+		if len(got) != n {
+			t.Fatalf("trial %d: %d emissions, want %d", trial, len(got), n)
+		}
+		want := make([]Result, n)
+		for i := range want {
+			want[i] = Result{Index: i, Dist: qdist(i)}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Dist != want[j].Dist {
+				return want[i].Dist < want[j].Dist
+			}
+			return want[i].Index < want[j].Index
+		})
+		seen := make(map[int]bool, n)
+		for i, r := range got {
+			if seen[r.Index] {
+				t.Fatalf("trial %d: index %d emitted twice", trial, r.Index)
+			}
+			seen[r.Index] = true
+			if math.Abs(r.Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d emission %d: Dist = %g, want %g", trial, i, r.Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestStreamSkipsDeleted(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 200
+	pts, dist := euclid2D(rng, n)
+	tr := buildTestTree(t, dist, n, 7)
+	deleted := map[int]bool{}
+	for i := 0; i < 40; i++ {
+		deleted[rng.Intn(n)] = true
+	}
+	q := [2]float64{5, 5}
+	qdist := func(i int) float64 {
+		return math.Hypot(q[0]-pts[i][0], q[1]-pts[i][1])
+	}
+	got := drainStream(t, tr.Stream(qdist, func(id int) bool { return deleted[id] }))
+	if len(got) != n-len(deleted) {
+		t.Fatalf("%d emissions, want %d", len(got), n-len(deleted))
+	}
+	for _, r := range got {
+		if deleted[r.Index] {
+			t.Fatalf("deleted index %d emitted", r.Index)
+		}
+	}
+}
+
+// TestStreamPrefixMatchesKNN: consuming k emissions equals the batch
+// KNN answer — the property the engine's incremental filter relies on.
+func TestStreamPrefixMatchesKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 500
+	pts, dist := euclid2D(rng, n)
+	tr := buildTestTree(t, dist, n, 9)
+	for _, k := range []int{1, 5, 25} {
+		q := [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+		qdist := func(i int) float64 {
+			return math.Hypot(q[0]-pts[i][0], q[1]-pts[i][1])
+		}
+		want, _, err := tr.KNN(qdist, k)
+		if err != nil {
+			t.Fatalf("KNN: %v", err)
+		}
+		s := tr.Stream(qdist, nil)
+		for i := 0; i < k; i++ {
+			r, ok := s.Next()
+			if !ok {
+				t.Fatalf("k=%d: stream dry after %d emissions", k, i)
+			}
+			if r.Index != want[i].Index || math.Abs(r.Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("k=%d emission %d: got (%d, %g), want (%d, %g)",
+					k, i, r.Index, r.Dist, want[i].Index, want[i].Dist)
+			}
+		}
+		if st := s.Stats(); st.DistanceCalls >= n && n > 50 {
+			t.Fatalf("k=%d: %d distance calls for n=%d, expected pruning", k, st.DistanceCalls, n)
+		}
+	}
+}
+
+func TestFlattenRestoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for _, n := range []int{0, 1, 5, 120} {
+		pts, dist := euclid2D(rng, n+1) // n+1 so qdist works for n=0
+		tr := buildTestTree(t, dist, n, 11)
+		flat := tr.Flatten()
+
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(flat); err != nil {
+			t.Fatalf("n=%d: gob encode: %v", n, err)
+		}
+		var back Flat
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			t.Fatalf("n=%d: gob decode: %v", n, err)
+		}
+		re, err := RestoreFlat(&back, n, rand.New(rand.NewSource(12)))
+		if err != nil {
+			t.Fatalf("n=%d: RestoreFlat: %v", n, err)
+		}
+		if re.Len() != n || re.Nodes() != tr.Nodes() {
+			t.Fatalf("n=%d: restored Len/Nodes = %d/%d, want %d/%d", n, re.Len(), re.Nodes(), n, tr.Nodes())
+		}
+		q := [2]float64{3, 7}
+		qdist := func(i int) float64 {
+			return math.Hypot(q[0]-pts[i][0], q[1]-pts[i][1])
+		}
+		a := drainStream(t, tr.Stream(qdist, nil))
+		b := drainStream(t, re.Stream(qdist, nil))
+		if len(a) != len(b) {
+			t.Fatalf("n=%d: %d vs %d emissions after restore", n, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d emission %d: %+v vs %+v (must be bit-identical)", n, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRestoreFlatRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	n := 60
+	_, dist := euclid2D(rng, n)
+	tr := buildTestTree(t, dist, n, 13)
+	fresh := func() *Flat {
+		return tr.Flatten()
+	}
+	cases := []struct {
+		name   string
+		mutate func(f *Flat)
+	}{
+		{"object out of range", func(f *Flat) { f.Nodes[0].Entries[0].Object = int32(n) }},
+		{"negative radius", func(f *Flat) { f.Nodes[0].Entries[0].Radius = -1 }},
+		{"nan radius", func(f *Flat) { f.Nodes[0].Entries[0].Radius = math.NaN() }},
+		{"size mismatch", func(f *Flat) { f.Size++ }},
+		{"capacity too small", func(f *Flat) { f.Capacity = 1 }},
+		{"child self-loop", func(f *Flat) {
+			for i := range f.Nodes {
+				for j := range f.Nodes[i].Entries {
+					if f.Nodes[i].Entries[j].Child >= 0 {
+						f.Nodes[i].Entries[j].Child = 0
+						return
+					}
+				}
+			}
+		}},
+		{"no nodes", func(f *Flat) { f.Nodes = nil }},
+	}
+	for _, c := range cases {
+		f := fresh()
+		c.mutate(f)
+		if _, err := RestoreFlat(f, n, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("%s: RestoreFlat accepted corrupted input", c.name)
+		}
+	}
+	if _, err := RestoreFlat(fresh(), n, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatalf("unmutated flat rejected: %v", err)
+	}
+}
+
+// TestCloneInsertExtends: cloning a restored tree and inserting new
+// ids yields the same answers as querying all ids — the engine's
+// incremental index maintenance path.
+func TestCloneInsertExtends(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	total := 150
+	pts, dist := euclid2D(rng, total)
+	n0 := 100
+	tr := buildTestTree(t, dist, n0, 17)
+	re, err := RestoreFlat(tr.Flatten(), n0, rand.New(rand.NewSource(18)))
+	if err != nil {
+		t.Fatalf("RestoreFlat: %v", err)
+	}
+	cl, err := re.Clone(dist, rand.New(rand.NewSource(19)))
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	for i := n0; i < total; i++ {
+		cl.Insert(i)
+	}
+	if cl.Len() != total {
+		t.Fatalf("Len = %d, want %d", cl.Len(), total)
+	}
+	q := [2]float64{2, 8}
+	qdist := func(i int) float64 {
+		return math.Hypot(q[0]-pts[i][0], q[1]-pts[i][1])
+	}
+	got := drainStream(t, cl.Stream(qdist, nil))
+	if len(got) != total {
+		t.Fatalf("%d emissions, want %d", len(got), total)
+	}
+	prevIdx := make(map[int]bool)
+	for _, r := range got {
+		if prevIdx[r.Index] {
+			t.Fatalf("index %d emitted twice", r.Index)
+		}
+		prevIdx[r.Index] = true
+		if math.Abs(r.Dist-qdist(r.Index)) > 1e-9 {
+			t.Fatalf("index %d: Dist %g, want %g", r.Index, r.Dist, qdist(r.Index))
+		}
+	}
+}

@@ -44,9 +44,10 @@ import (
 const Magic = "EMDSNAP\x00"
 
 // SnapshotVersion is the current snapshot format version. Version 2
-// added the optional quantized-filter section; version-1 files are
-// still read (the engine rebuilds the filter from the items).
-const SnapshotVersion = 2
+// added the optional quantized-filter section, version 3 the optional
+// metric-index section; older versions are still read (the engine
+// rebuilds the missing structures from the items).
+const SnapshotVersion = 3
 
 // maxFrame bounds a single frame body; larger declared lengths can
 // only come from damage.
@@ -125,6 +126,26 @@ type QuantSection struct {
 	Cols           [][]int16
 }
 
+// IndexSection is the persisted metric index: the serialized tree
+// (the kind-specific flat form, gob-encoded into Blob) plus the state
+// fingerprint it was built under. Like the quantized filter it is
+// strictly an optimization — a reader that cannot reuse it (kind,
+// fingerprint or coverage mismatch) rebuilds from the items.
+type IndexSection struct {
+	// Kind is the tree kind, "mtree" or "vptree".
+	Kind string
+	// N is the store length the index covers (every live id < N is in
+	// the tree); DeletedAtBuild is the soft-deleted count at build
+	// time, the baseline of the engine's churn heuristic.
+	N              int
+	DeletedAtBuild int
+	// RedHash fingerprints the reduction the index metric derives from
+	// (see ReductionHash).
+	RedHash uint64
+	// Blob is the gob-encoded kind-specific flat tree form.
+	Blob []byte
+}
+
 // Snapshot is the full persisted engine state.
 type Snapshot struct {
 	Header Header
@@ -140,6 +161,9 @@ type Snapshot struct {
 	// Quant is the quantized columnar filter, nil when the engine had
 	// none built (and always nil in version-1 files).
 	Quant *QuantSection
+	// Index is the metric index, nil when the engine had none built
+	// (and always nil in files before version 3).
+	Index *IndexSection
 }
 
 // reductionsSection is the gob payload of the third snapshot section.
@@ -152,6 +176,12 @@ type reductionsSection struct {
 // pointer encodes presence.
 type quantSection struct {
 	Quant *QuantSection
+}
+
+// indexSection is the gob payload of the sixth snapshot section; the
+// pointer encodes presence.
+type indexSection struct {
+	Index *IndexSection
 }
 
 // CostHash fingerprints a ground-distance matrix: shape plus the exact
@@ -281,7 +311,7 @@ func readGobFrame(r io.Reader, v interface{}, section string) error {
 // WriteSnapshot writes s to w in the versioned format: magic, version
 // word, then one CRC-framed gob section each for the header, the
 // items, the reductions, the deleted set, and the (possibly absent)
-// quantized filter.
+// quantized filter and metric index.
 func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	if s.Header.Items != len(s.Items) {
 		return fmt.Errorf("persist: header declares %d items, snapshot carries %d", s.Header.Items, len(s.Items))
@@ -306,7 +336,10 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	if err := gobFrame(w, s.Deleted); err != nil {
 		return err
 	}
-	return gobFrame(w, quantSection{Quant: s.Quant})
+	if err := gobFrame(w, quantSection{Quant: s.Quant}); err != nil {
+		return err
+	}
+	return gobFrame(w, indexSection{Index: s.Index})
 }
 
 // ReadSnapshot reads a snapshot written by WriteSnapshot. Every
@@ -345,6 +378,13 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 			return nil, err
 		}
 		s.Quant = qs.Quant
+	}
+	if version >= 3 {
+		var is indexSection
+		if err := readGobFrame(r, &is, "metric index"); err != nil {
+			return nil, err
+		}
+		s.Index = is.Index
 	}
 	if s.Header.Items != len(s.Items) {
 		return nil, fmt.Errorf("%w: header declares %d items, snapshot carries %d", ErrCorrupt, s.Header.Items, len(s.Items))

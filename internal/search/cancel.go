@@ -94,7 +94,7 @@ func (s *Searcher) knnCtx(ctx context.Context, q emd.Histogram, k int, pred func
 		return nil, errNoRefine()
 	}
 	start := time.Now()
-	ranking, probes, err := s.buildRanking(q)
+	ranking, probes, err := s.buildRanking(q, IndexHint{Kind: IndexKNN, K: k})
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +133,7 @@ func (s *Searcher) RangeCtx(ctx context.Context, q emd.Histogram, eps float64, p
 		return nil, nil, errNoRefine()
 	}
 	start := time.Now()
-	ranking, probes, err := s.buildRanking(q)
+	ranking, probes, err := s.buildRanking(q, IndexHint{Kind: IndexRange, Eps: eps})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -65,6 +65,13 @@ type QueryStats struct {
 	// deadline expired). The returned results are then a certified
 	// partial answer, not the complete one.
 	Cancelled bool
+	// IndexUsed reports that a metric-index candidate generator served
+	// this query in place of the scan-based filter chain.
+	IndexUsed bool
+	// IndexNodesVisited and IndexPruned count index nodes expanded and
+	// ruled out during the traversal; zero unless IndexUsed.
+	IndexNodesVisited int
+	IndexPruned       int
 	// StageEvaluations counts filter evaluations per pipeline stage;
 	// filled by Searcher, left empty by the bare algorithms. It mirrors
 	// Stages[i].Evaluations and is kept for compact comparisons.

@@ -51,6 +51,14 @@ type FilterStage struct {
 type Searcher struct {
 	// N is the database size.
 	N int
+	// Index, when set, is consulted first for every query: given the
+	// query and a hint describing it, the index either returns an
+	// IndexRanking — candidates in nondecreasing lower-bound order,
+	// produced WITHOUT an O(n) scan — or declines with (nil, nil), in
+	// which case the normal chain below runs. When an index ranking is
+	// used it replaces the whole filter chain (BaseRanking and Stages),
+	// so its emissions must lower-bound Refine directly.
+	Index func(q emd.Histogram, hint IndexHint) (IndexRanking, error)
 	// BaseRanking, when set, supplies the bottom of the filter chain
 	// as an incremental ranking (e.g. a k-d tree stream over database
 	// centroids) instead of an eager scan of Stages[0]. Its distances
@@ -88,15 +96,39 @@ type Searcher struct {
 }
 
 // stageProbe observes one stage of an assembled per-query chain.
+// index is set only for the index-backed stage and feeds the
+// QueryStats index counters.
 type stageProbe struct {
 	name  string
 	evals func() int
 	dur   *time.Duration
+	index func() IndexStats
 }
 
 // buildRanking assembles the filter chain for one query and returns
-// the final ranking plus probes for the per-stage counters.
-func (s *Searcher) buildRanking(q emd.Histogram) (Ranking, []stageProbe, error) {
+// the final ranking plus probes for the per-stage counters. The hint
+// describes the query shape so an attached index can apply its
+// per-query acceptance policy.
+func (s *Searcher) buildRanking(q emd.Histogram, hint IndexHint) (Ranking, []stageProbe, error) {
+	if s.Index != nil {
+		idx, err := s.Index(q, hint)
+		if err != nil {
+			return nil, nil, err
+		}
+		if idx != nil {
+			// The index IS the filter: no eager scan, no chained
+			// stages — emissions already carry the tightest available
+			// lower bound in nondecreasing order.
+			dur := new(time.Duration)
+			probe := stageProbe{
+				name:  idx.Label(),
+				evals: func() int { return idx.IndexStats().DistanceCalls },
+				dur:   dur,
+				index: idx.IndexStats,
+			}
+			return &timedRanking{inner: idx, dur: dur}, []stageProbe{probe}, nil
+		}
+	}
 	var ranking Ranking
 	chainFrom := 0
 	probes := make([]stageProbe, 0, len(s.Stages))
@@ -185,6 +217,12 @@ func finishStats(stats *QueryStats, probes []stageProbe, total time.Duration) {
 		}
 		stats.StageEvaluations[i] = evals
 		stats.FilterTime += *p.dur
+		if p.index != nil {
+			ist := p.index()
+			stats.IndexUsed = true
+			stats.IndexNodesVisited = ist.NodesVisited
+			stats.IndexPruned = ist.Pruned
+		}
 	}
 }
 
@@ -223,7 +261,7 @@ func (s *Searcher) KNN(q emd.Histogram, k int) ([]Result, *QueryStats, error) {
 		return nil, nil, fmt.Errorf("search: Searcher has no refinement distance")
 	}
 	start := time.Now()
-	ranking, probes, err := s.buildRanking(q)
+	ranking, probes, err := s.buildRanking(q, IndexHint{Kind: IndexKNN, K: k})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -260,7 +298,7 @@ func (s *Searcher) Range(q emd.Histogram, eps float64) ([]Result, *QueryStats, e
 		return nil, nil, fmt.Errorf("search: Searcher has no refinement distance")
 	}
 	start := time.Now()
-	ranking, probes, err := s.buildRanking(q)
+	ranking, probes, err := s.buildRanking(q, IndexHint{Kind: IndexRange, Eps: eps})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -294,6 +332,6 @@ func (s *Searcher) Range(q emd.Histogram, eps float64) ([]Result, *QueryStats, e
 // can stack further (larger) lower bounds or the exact distance on top
 // with NewChainedRanking.
 func (s *Searcher) Ranking(q emd.Histogram) (Ranking, error) {
-	ranking, _, err := s.buildRanking(q)
+	ranking, _, err := s.buildRanking(q, IndexHint{Kind: IndexRank})
 	return ranking, err
 }

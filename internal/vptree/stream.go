@@ -1,0 +1,161 @@
+package vptree
+
+import (
+	"math"
+
+	"emdsearch/internal/fourpoint"
+	"emdsearch/internal/heapx"
+)
+
+// Frame kinds of the best-first stream, in heap tie-break order.
+const (
+	frameNode   int8 = iota // subtree to expand
+	frameUneval             // item, query distance pending
+	frameEval               // item, query distance known
+)
+
+// frame is one priority-queue element; key is a certified lower bound
+// on the query distance of everything beneath it.
+type frame struct {
+	key  float64
+	kind int8
+	idx  int32   // item id (item frames)
+	node *node   // subtree (node frames)
+	dqp  float64 // d(query, node's parent vantage), NaN at root
+}
+
+// Stream is an incremental best-first traversal emitting items in
+// nondecreasing distance order, pruning with the triangle inequality
+// against the stored subtree annuli and — when fourPoint is enabled —
+// with the supermetric planar bound over (parent vantage, vantage)
+// pivot pairs. It is not safe for concurrent use; the Tree is never
+// mutated and can serve many Streams.
+type Stream struct {
+	t         *Tree
+	qdist     QueryDistFunc
+	skip      func(id int) bool
+	fourPoint bool
+	heap      *heapx.Heap[frame]
+	stats     Stats
+}
+
+// Stream starts a best-first traversal. skip, when non-nil, filters
+// items (e.g. soft deletes) before their distance is evaluated; a
+// skipped vantage still serves as a pruning pivot but is not emitted.
+// fourPoint must only be enabled when the metric has the four-point
+// property (see internal/fourpoint) — the engine verifies this on
+// sampled quadruples before switching it on.
+func (t *Tree) Stream(qdist QueryDistFunc, skip func(id int) bool, fourPoint bool) *Stream {
+	s := &Stream{
+		t:         t,
+		qdist:     qdist,
+		skip:      skip,
+		fourPoint: fourPoint,
+		heap: heapx.New(64, func(a, b frame) bool {
+			if a.key != b.key {
+				return a.key < b.key
+			}
+			if a.kind != b.kind {
+				return a.kind < b.kind
+			}
+			return a.idx < b.idx
+		}),
+	}
+	if t.root != nil {
+		s.heap.Push(frame{kind: frameNode, node: t.root, dqp: math.NaN()})
+	}
+	return s
+}
+
+// Stats reports the traversal work so far.
+func (s *Stream) Stats() Stats { return s.stats }
+
+// childKey lower-bounds the query distance to a child subtree whose
+// items lie within [lo, hi] of nd's vantage (query distance dv) and
+// within [nd.plo, nd.phi] of nd's parent vantage (query distance
+// f.dqp): the triangle bound against the annulus, optionally maxed
+// with the supermetric two-pivot bound.
+func (s *Stream) childKey(f *frame, nd *node, dv, lo, hi float64) float64 {
+	k := f.key
+	if b := dv - hi; b > k {
+		k = b
+	}
+	if b := lo - dv; b > k {
+		k = b
+	}
+	if s.fourPoint && !math.IsNaN(nd.dvp) && !math.IsNaN(f.dqp) {
+		// Pivots: p = parent vantage, v = nd's vantage. nd.plo/phi cover
+		// nd's whole subtree, a superset of the child's — looser but
+		// still a sound annulus for the planar bound.
+		if b := fourpoint.LowerBound(nd.dvp, f.dqp, dv, nd.plo, nd.phi, lo, hi); b > k {
+			k = b
+		}
+	}
+	return k
+}
+
+// Next returns the next item in nondecreasing lower-bound order, or
+// ok = false when the tree is exhausted. Emitted Dist values are exact
+// index metric distances and never decrease, so a consumer may stop at
+// its threshold without losing any qualifying item.
+func (s *Stream) Next() (Result, bool) {
+	h := s.heap
+	for h.Len() > 0 {
+		f := h.Pop()
+		switch f.kind {
+		case frameNode:
+			nd := f.node
+			s.stats.NodesVisited++
+			if nd.vantage < 0 {
+				for i, it := range nd.bucket {
+					k := f.key
+					if nd.bdist != nil && !math.IsNaN(f.dqp) {
+						if b := math.Abs(f.dqp - nd.bdist[i]); b > k {
+							k = b
+						}
+					}
+					h.Push(frame{key: k, kind: frameUneval, idx: it})
+				}
+				continue
+			}
+			s.stats.DistanceCalls++
+			dv := s.qdist(nd.vantage)
+			if s.skip == nil || !s.skip(nd.vantage) {
+				k := dv
+				if f.key > k {
+					k = f.key // float slack only; keeps emissions monotone
+				}
+				h.Push(frame{key: k, kind: frameEval, idx: int32(nd.vantage)})
+			}
+			if nd.inside != nil {
+				h.Push(frame{
+					key:  s.childKey(&f, nd, dv, nd.ilo, nd.ihi),
+					kind: frameNode, node: nd.inside, dqp: dv,
+				})
+			}
+			if nd.outside != nil {
+				h.Push(frame{
+					key:  s.childKey(&f, nd, dv, nd.olo, nd.ohi),
+					kind: frameNode, node: nd.outside, dqp: dv,
+				})
+			}
+		case frameUneval:
+			id := int(f.idx)
+			if s.skip != nil && s.skip(id) {
+				continue
+			}
+			s.stats.DistanceCalls++
+			d := s.qdist(id)
+			if f.key > d {
+				d = f.key
+			}
+			if h.Len() == 0 || d <= h.Peek().key {
+				return Result{Index: id, Dist: d}, true
+			}
+			h.Push(frame{key: d, kind: frameEval, idx: f.idx})
+		case frameEval:
+			return Result{Index: int(f.idx), Dist: f.key}, true
+		}
+	}
+	return Result{}, false
+}

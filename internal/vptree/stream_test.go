@@ -1,0 +1,251 @@
+package vptree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// points2D builds an n-point 2-D Euclidean test metric. Euclidean
+// spaces have the four-point property, so both stream modes must be
+// exact on this data.
+func points2D(rng *rand.Rand, n int) ([][2]float64, DistFunc) {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	dist := func(i, j int) float64 {
+		return math.Hypot(pts[i][0]-pts[j][0], pts[i][1]-pts[j][1])
+	}
+	return pts, dist
+}
+
+func drainStream(t *testing.T, s *Stream) []Result {
+	t.Helper()
+	var out []Result
+	prev := math.Inf(-1)
+	for {
+		r, ok := s.Next()
+		if !ok {
+			return out
+		}
+		if r.Dist < prev {
+			t.Fatalf("emission %d: Dist %g < previous %g", len(out), r.Dist, prev)
+		}
+		prev = r.Dist
+		out = append(out, r)
+	}
+}
+
+func TestStreamEmitsAllInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(300)
+		pts, dist := points2D(rng, n)
+		tr, err := Build(n, dist, rand.New(rand.NewSource(int64(trial))))
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		q := [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+		qdist := func(i int) float64 {
+			return math.Hypot(q[0]-pts[i][0], q[1]-pts[i][1])
+		}
+		for _, fourPoint := range []bool{false, true} {
+			got := drainStream(t, tr.Stream(qdist, nil, fourPoint))
+			if len(got) != n {
+				t.Fatalf("trial %d fp=%v: %d emissions, want %d", trial, fourPoint, len(got), n)
+			}
+			want := make([]Result, n)
+			for i := range want {
+				want[i] = Result{Index: i, Dist: qdist(i)}
+			}
+			sort.Slice(want, func(i, j int) bool {
+				if want[i].Dist != want[j].Dist {
+					return want[i].Dist < want[j].Dist
+				}
+				return want[i].Index < want[j].Index
+			})
+			seen := make(map[int]bool, n)
+			for i, r := range got {
+				if seen[r.Index] {
+					t.Fatalf("trial %d fp=%v: index %d emitted twice", trial, fourPoint, r.Index)
+				}
+				seen[r.Index] = true
+				if math.Abs(r.Dist-want[i].Dist) > 1e-9 {
+					t.Fatalf("trial %d fp=%v emission %d: Dist = %g, want %g",
+						trial, fourPoint, i, r.Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamSkipsDeleted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 250
+	pts, dist := points2D(rng, n)
+	tr, err := Build(n, dist, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	deleted := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		deleted[rng.Intn(n)] = true
+	}
+	qdist := func(i int) float64 {
+		return math.Hypot(5-pts[i][0], 5-pts[i][1])
+	}
+	got := drainStream(t, tr.Stream(qdist, func(id int) bool { return deleted[id] }, false))
+	if len(got) != n-len(deleted) {
+		t.Fatalf("%d emissions, want %d", len(got), n-len(deleted))
+	}
+	for _, r := range got {
+		if deleted[r.Index] {
+			t.Fatalf("deleted index %d emitted", r.Index)
+		}
+	}
+}
+
+// TestStreamFourPointPrunesMore: on Euclidean data the supermetric
+// bound must visit no more nodes than plain triangle pruning for the
+// same emissions, and typically fewer distance calls over a short
+// prefix.
+func TestStreamFourPointPrunesMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 2000
+	pts, dist := points2D(rng, n)
+	tr, err := Build(n, dist, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var callsTri, callsFP int
+	for trial := 0; trial < 20; trial++ {
+		q := [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+		qdist := func(i int) float64 {
+			return math.Hypot(q[0]-pts[i][0], q[1]-pts[i][1])
+		}
+		sTri := tr.Stream(qdist, nil, false)
+		sFP := tr.Stream(qdist, nil, true)
+		for i := 0; i < 10; i++ {
+			a, okA := sTri.Next()
+			b, okB := sFP.Next()
+			if !okA || !okB {
+				t.Fatalf("trial %d: stream dry at %d", trial, i)
+			}
+			// The four-point emission can carry ~1e-15 of planar rounding
+			// slack above the exact distance; compare with tolerance and
+			// allow index swaps only between genuine distance ties.
+			if math.Abs(a.Dist-b.Dist) > 1e-9 {
+				t.Fatalf("trial %d emission %d: tri (%d, %g) vs fourpoint (%d, %g)",
+					trial, i, a.Index, a.Dist, b.Index, b.Dist)
+			}
+			if a.Index != b.Index && math.Abs(qdist(a.Index)-qdist(b.Index)) > 1e-9 {
+				t.Fatalf("trial %d emission %d: tri index %d vs fourpoint index %d at non-tied distances",
+					trial, i, a.Index, b.Index)
+			}
+		}
+		callsTri += sTri.Stats().DistanceCalls
+		callsFP += sFP.Stats().DistanceCalls
+	}
+	if callsFP > callsTri {
+		t.Fatalf("four-point pruning cost MORE distance calls: %d vs %d", callsFP, callsTri)
+	}
+	t.Logf("distance calls over 20 queries x 10-NN prefix: triangle %d, four-point %d", callsTri, callsFP)
+}
+
+func TestFlattenRestoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range []int{0, 1, 7, 8, 9, 150} {
+		pts, dist := points2D(rng, n+1)
+		tr, err := Build(n, dist, rand.New(rand.NewSource(21)))
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(tr.Flatten()); err != nil {
+			t.Fatalf("n=%d: gob encode: %v", n, err)
+		}
+		var back Flat
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			t.Fatalf("n=%d: gob decode: %v", n, err)
+		}
+		re, err := RestoreFlat(&back, n)
+		if err != nil {
+			t.Fatalf("n=%d: RestoreFlat: %v", n, err)
+		}
+		if re.Len() != n || re.Nodes() != tr.Nodes() {
+			t.Fatalf("n=%d: restored Len/Nodes = %d/%d, want %d/%d", n, re.Len(), re.Nodes(), n, tr.Nodes())
+		}
+		qdist := func(i int) float64 {
+			return math.Hypot(3-pts[i][0], 7-pts[i][1])
+		}
+		for _, fourPoint := range []bool{false, true} {
+			a := drainStream(t, tr.Stream(qdist, nil, fourPoint))
+			b := drainStream(t, re.Stream(qdist, nil, fourPoint))
+			if len(a) != len(b) {
+				t.Fatalf("n=%d fp=%v: %d vs %d emissions", n, fourPoint, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d fp=%v emission %d: %+v vs %+v (must be bit-identical)",
+						n, fourPoint, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRestoreFlatRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	n := 80
+	_, dist := points2D(rng, n)
+	tr, err := Build(n, dist, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	fresh := func() *Flat { return tr.Flatten() }
+	leafIdx := -1
+	internalIdx := -1
+	for i, fn := range fresh().Nodes {
+		if fn.Vantage < 0 && leafIdx < 0 {
+			leafIdx = i
+		}
+		if fn.Vantage >= 0 && internalIdx < 0 {
+			internalIdx = i
+		}
+	}
+	if leafIdx < 0 || internalIdx < 0 {
+		t.Fatal("fixture tree lacks a leaf or internal node")
+	}
+	cases := []struct {
+		name   string
+		mutate func(f *Flat)
+	}{
+		{"vantage out of range", func(f *Flat) { f.Nodes[internalIdx].Vantage = int32(n) }},
+		{"bucket item out of range", func(f *Flat) { f.Nodes[leafIdx].Bucket[0] = -2 }},
+		{"negative bucket distance", func(f *Flat) {
+			if f.Nodes[leafIdx].BDist != nil {
+				f.Nodes[leafIdx].BDist[0] = -1
+			} else {
+				f.Nodes[leafIdx].BDist = []float64{-1}
+			}
+		}},
+		{"size mismatch", func(f *Flat) { f.N++ }},
+		{"child self-loop", func(f *Flat) { f.Nodes[internalIdx].Inside = int32(internalIdx) }},
+		{"leaf with children", func(f *Flat) { f.Nodes[leafIdx].Inside = int32(leafIdx + 1) }},
+		{"infinite radius", func(f *Flat) { f.Nodes[internalIdx].Radius = math.Inf(1) }},
+	}
+	for _, c := range cases {
+		f := fresh()
+		c.mutate(f)
+		if _, err := RestoreFlat(f, n); err == nil {
+			t.Errorf("%s: RestoreFlat accepted corrupted input", c.name)
+		}
+	}
+	if _, err := RestoreFlat(fresh(), n); err != nil {
+		t.Fatalf("unmutated flat rejected: %v", err)
+	}
+}

@@ -1,7 +1,9 @@
 // Package vptree implements a vantage-point tree, the classic metric
 // index the multimedia-retrieval literature compares filter-and-refine
 // architectures against. It answers exact k-NN and range queries for
-// any metric distance using triangle-inequality pruning.
+// any metric distance using triangle-inequality pruning, and exposes a
+// best-first Stream that emits items in nondecreasing lower-bound
+// order for use as an incremental candidate generator.
 //
 // The EMD is a metric whenever its ground distance is one, so a
 // VP-tree over the full-dimensional EMD is a valid — and historically
@@ -10,14 +12,17 @@
 // number of distance computations from geometry alone, while the
 // paper's filters attack the *cost* of each pruning test; on
 // high-dimensional EMDs with concentrated distances the filter chain
-// wins decisively.
+// wins decisively. The engine combines both: a VP-tree over the
+// *reduced* EMD prunes the filter stage itself.
 package vptree
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
+
+	"emdsearch/internal/heapx"
 )
 
 // DistFunc is a metric distance between two indexed items.
@@ -26,50 +31,99 @@ type DistFunc func(i, j int) float64
 // QueryDistFunc is a metric distance between the query and item i.
 type QueryDistFunc func(i int) float64
 
-// Tree is a vantage-point tree over items 0..n-1.
+// Tree is a vantage-point tree over integer item ids.
 type Tree struct {
-	root *node
-	n    int
+	root  *node
+	n     int
+	nodes int
 }
 
 type node struct {
-	vantage int     // item index of the vantage point
+	vantage int     // item index of the vantage point, -1 for leaves
 	radius  float64 // median distance of the subtree items to vantage
-	inside  *node   // items with d(vantage, x) <= radius
-	outside *node   // items with d(vantage, x) > radius
-	// bucket holds the items of small leaves (including the vantage).
+
+	// Subtree annuli to this node's vantage, recorded at build time
+	// from distances the construction computes anyway: the inside
+	// (resp. outside) child's items all lie within [ilo, ihi] (resp.
+	// [olo, ohi]) of the vantage. They give the best-first stream a
+	// tighter child bound than the single median radius.
+	ilo, ihi float64
+	olo, ohi float64
+
+	// Subtree annuli to the PARENT's vantage (covering this node's
+	// entire subtree, vantage included) and the vantage's own distance
+	// to it. They feed the optional supermetric four-point bound, which
+	// needs two pivots with known query distances. NaN at the root.
+	plo, phi float64
+	dvp      float64
+
+	inside  *node // items with d(vantage, x) <= radius
+	outside *node // items with d(vantage, x) > radius
+
+	// bucket holds the items of small leaves (including the vantage);
+	// bdist holds each bucket item's distance to the parent vantage
+	// (nil when the whole tree is one leaf).
 	bucket []int32
+	bdist  []float64
 }
 
 // leafSize is the bucket size below which subtrees are stored flat.
 const leafSize = 8
 
-// Build constructs a VP-tree over n items with the given pairwise
+// Build constructs a VP-tree over items 0..n-1 with the given pairwise
 // metric. dist is called O(n log n) times; rng picks vantage points.
 func Build(n int, dist DistFunc, rng *rand.Rand) (*Tree, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("vptree: negative size %d", n)
 	}
-	if rng == nil {
-		return nil, fmt.Errorf("vptree: nil rng")
-	}
 	items := make([]int32, n)
 	for i := range items {
 		items[i] = int32(i)
 	}
-	return &Tree{root: build(items, dist, rng), n: n}, nil
+	return BuildIDs(items, dist, rng)
 }
 
-func build(items []int32, dist DistFunc, rng *rand.Rand) *node {
+// BuildIDs constructs a VP-tree over an explicit id set (e.g. the live
+// items of a store with soft deletes). The slice is taken over and
+// reordered in place.
+func BuildIDs(ids []int32, dist DistFunc, rng *rand.Rand) (*Tree, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("vptree: nil rng")
+	}
+	if dist == nil {
+		return nil, fmt.Errorf("vptree: nil distance")
+	}
+	t := &Tree{n: len(ids)}
+	t.root = t.build(ids, nil, dist, rng)
+	return t, nil
+}
+
+// build constructs the subtree over items; pdists[i] is the distance
+// of items[i] to the parent's vantage (nil at the root).
+func (t *Tree) build(items []int32, pdists []float64, dist DistFunc, rng *rand.Rand) *node {
 	if len(items) == 0 {
 		return nil
 	}
+	t.nodes++
+	nd := &node{plo: math.NaN(), phi: math.NaN(), dvp: math.NaN()}
+	if pdists != nil {
+		nd.plo, nd.phi = minMax(pdists)
+	}
 	if len(items) <= leafSize {
-		return &node{vantage: -1, bucket: items}
+		nd.vantage = -1
+		nd.bucket = items
+		if pdists != nil {
+			nd.bdist = pdists
+		}
+		return nd
 	}
 	// Choose a random vantage and swap it to the front.
 	vi := rng.Intn(len(items))
 	items[0], items[vi] = items[vi], items[0]
+	if pdists != nil {
+		pdists[0], pdists[vi] = pdists[vi], pdists[0]
+		nd.dvp = pdists[0]
+	}
 	vantage := int(items[0])
 	rest := items[1:]
 
@@ -87,24 +141,52 @@ func build(items []int32, dist DistFunc, rng *rand.Rand) *node {
 	radius := dists[order[mid]]
 
 	insideItems := make([]int32, 0, mid+1)
+	insideDists := make([]float64, 0, mid+1)
 	outsideItems := make([]int32, 0, len(rest)-mid)
+	outsideDists := make([]float64, 0, len(rest)-mid)
 	for _, oi := range order {
 		if dists[oi] <= radius && len(insideItems) <= mid {
 			insideItems = append(insideItems, rest[oi])
+			insideDists = append(insideDists, dists[oi])
 		} else {
 			outsideItems = append(outsideItems, rest[oi])
+			outsideDists = append(outsideDists, dists[oi])
 		}
 	}
-	return &node{
-		vantage: vantage,
-		radius:  radius,
-		inside:  build(insideItems, dist, rng),
-		outside: build(outsideItems, dist, rng),
+	nd.vantage = vantage
+	nd.radius = radius
+	nd.ilo, nd.ihi = minMax(insideDists)
+	nd.olo, nd.ohi = minMax(outsideDists)
+	nd.inside = t.build(insideItems, insideDists, dist, rng)
+	nd.outside = t.build(outsideItems, outsideDists, dist, rng)
+	return nd
+}
+
+// minMax returns the minimum and maximum of a slice, or (0, 0) when it
+// is empty (an empty child is never descended into, so the annulus is
+// never read).
+func minMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
 	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
 }
 
 // Len returns the number of indexed items.
 func (t *Tree) Len() int { return t.n }
+
+// Nodes returns the total number of tree nodes — the denominator of
+// the "subtrees pruned" statistic a best-first traversal reports.
+func (t *Tree) Nodes() int { return t.nodes }
 
 // Result is one query answer.
 type Result struct {
@@ -120,21 +202,6 @@ type Stats struct {
 	NodesVisited  int
 }
 
-// resultHeap is a max-heap on Dist, keeping the k best results.
-type resultHeap []Result
-
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	r := old[n-1]
-	*h = old[:n-1]
-	return r
-}
-
 // KNN returns the k nearest items to the query described by qdist,
 // exactly, using triangle-inequality pruning. Results are sorted by
 // distance, then index.
@@ -143,17 +210,17 @@ func (t *Tree) KNN(qdist QueryDistFunc, k int) ([]Result, *Stats, error) {
 		return nil, nil, fmt.Errorf("vptree: k = %d, want >= 1", k)
 	}
 	stats := &Stats{}
-	best := make(resultHeap, 0, k+1)
+	best := heapx.New(k+1, func(a, b Result) bool { return a.Dist > b.Dist })
 	tau := func() float64 {
-		if len(best) < k {
+		if best.Len() < k {
 			return inf
 		}
-		return best[0].Dist
+		return best.Peek().Dist
 	}
 	add := func(idx int, d float64) {
-		heap.Push(&best, Result{Index: idx, Dist: d})
-		if len(best) > k {
-			heap.Pop(&best)
+		best.Push(Result{Index: idx, Dist: d})
+		if best.Len() > k {
+			best.Pop()
 		}
 	}
 	var visit func(nd *node)
@@ -190,8 +257,10 @@ func (t *Tree) KNN(qdist QueryDistFunc, k int) ([]Result, *Stats, error) {
 	}
 	visit(t.root)
 
-	out := make([]Result, len(best))
-	copy(out, best)
+	out := make([]Result, 0, best.Len())
+	for best.Len() > 0 {
+		out = append(out, best.Pop())
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
 			return out[i].Dist < out[j].Dist

@@ -63,6 +63,19 @@ type Metrics struct {
 	ColumnBuilds    int64 `json:"column_builds"`
 	QuantizedReuses int64 `json:"quantized_reuses"`
 
+	// IndexBuilds counts metric-index constructions (including
+	// churn-triggered background rebuilds); IndexReuses counts pipeline
+	// builds that carried an existing index forward (possibly growing
+	// it incrementally) instead of rebuilding. IndexQueries counts
+	// queries answered through an index-backed candidate generator;
+	// IndexNodesVisited and IndexPruned are their summed traversal
+	// counters.
+	IndexBuilds       int64 `json:"index_builds"`
+	IndexReuses       int64 `json:"index_reuses"`
+	IndexQueries      int64 `json:"index_queries"`
+	IndexNodesVisited int64 `json:"index_nodes_visited"`
+	IndexPruned       int64 `json:"index_pruned"`
+
 	// WALAppends counts mutations (Add/Delete) durably appended to an
 	// open write-ahead log; WALReplayed counts log records applied by
 	// RecoverEngine. SnapshotSaves counts snapshot files written by
@@ -142,6 +155,11 @@ func (em *engineMetrics) observe(kind metricKind, stats *QueryStats) {
 	em.m.FilterTime += stats.FilterTime
 	em.m.RefineTime += stats.RefineTime
 	em.m.QueryTime += stats.TotalTime
+	if stats.IndexUsed {
+		em.m.IndexQueries++
+		em.m.IndexNodesVisited += int64(stats.IndexNodesVisited)
+		em.m.IndexPruned += int64(stats.IndexPruned)
+	}
 	if len(stats.Stages) > 0 {
 		if em.m.Stages == nil {
 			em.m.Stages = make(map[string]StageMetrics, len(stats.Stages))
@@ -215,6 +233,18 @@ func (em *engineMetrics) columnsBuilt() {
 func (em *engineMetrics) quantizedReused() {
 	em.mu.Lock()
 	em.m.QuantizedReuses++
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) indexBuilt() {
+	em.mu.Lock()
+	em.m.IndexBuilds++
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) indexReused() {
+	em.mu.Lock()
+	em.m.IndexReuses++
 	em.mu.Unlock()
 }
 

@@ -3,15 +3,19 @@ package emdsearch
 import (
 	"bufio"
 	"bytes"
+	"encoding/gob"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"sort"
 
 	"emdsearch/internal/colscan"
 	"emdsearch/internal/core"
 	"emdsearch/internal/db"
+	"emdsearch/internal/mtree"
 	"emdsearch/internal/persist"
+	"emdsearch/internal/vptree"
 )
 
 // Typed persistence errors. Every failure of Save, SaveFile,
@@ -93,6 +97,30 @@ func (e *Engine) snapshotRecordLocked() *persist.Snapshot {
 			Cols:    qz.Data(),
 		}
 	}
+	// Persist the metric index under the same policy as the quantized
+	// filter: only when the stash covers the current item count, so a
+	// restored tree never needs patching — it is either reusable as-is
+	// (or by appending new items) or rebuilt.
+	var index *persist.IndexSection
+	if si := e.savedIndex; si != nil && si.n == n {
+		var blob bytes.Buffer
+		var encErr error
+		switch si.kind {
+		case IndexMTree:
+			encErr = gob.NewEncoder(&blob).Encode(si.mt.Flatten())
+		case IndexVPTree:
+			encErr = gob.NewEncoder(&blob).Encode(si.vt.Flatten())
+		}
+		if encErr == nil && blob.Len() > 0 {
+			index = &persist.IndexSection{
+				Kind:           si.kind,
+				N:              si.n,
+				DeletedAtBuild: si.deletedAtBuild,
+				RedHash:        si.redHash,
+				Blob:           blob.Bytes(),
+			}
+		}
+	}
 	return &persist.Snapshot{
 		Header: persist.Header{
 			Dim:         e.store.Dim(),
@@ -105,6 +133,7 @@ func (e *Engine) snapshotRecordLocked() *persist.Snapshot {
 		EngineReduction: engRed,
 		Deleted:         deleted,
 		Quant:           quant,
+		Index:           index,
 	}
 }
 
@@ -266,7 +295,61 @@ func engineFromSnapshot(s *persist.Snapshot, cost CostMatrix, opts Options) (*En
 		}
 		e.savedQuant, e.savedQuantHash = qz, s.Quant.RedHash
 	}
+	if s.Index != nil {
+		si, err := restoreIndexSection(s.Index, e.store.Len())
+		if err != nil {
+			return nil, fmt.Errorf("emdsearch: %w: metric index: %v", ErrCorrupt, err)
+		}
+		e.savedIndex = si
+	}
 	return e, nil
+}
+
+// restoreIndexSection validates and materializes a persisted metric
+// index. A CRC-valid but semantically damaged section must fail the
+// load, never reach a traversal; RestoreFlat re-checks every
+// structural invariant of the tree. Whether the stash is actually
+// reused is decided at pipeline build time by matching its kind and
+// reduction fingerprint — a stale index is silently rebuilt.
+func restoreIndexSection(is *persist.IndexSection, items int) (*savedIndex, error) {
+	if is.N != items {
+		return nil, fmt.Errorf("covers %d items, snapshot carries %d", is.N, items)
+	}
+	if is.DeletedAtBuild < 0 || is.DeletedAtBuild > is.N {
+		return nil, fmt.Errorf("deleted-at-build %d out of range [0, %d]", is.DeletedAtBuild, is.N)
+	}
+	si := &savedIndex{
+		kind:           is.Kind,
+		n:              is.N,
+		deletedAtBuild: is.DeletedAtBuild,
+		redHash:        is.RedHash,
+	}
+	dec := gob.NewDecoder(bytes.NewReader(is.Blob))
+	switch is.Kind {
+	case IndexMTree:
+		var f mtree.Flat
+		if err := dec.Decode(&f); err != nil {
+			return nil, fmt.Errorf("decode m-tree: %v", err)
+		}
+		mt, err := mtree.RestoreFlat(&f, items, rand.New(rand.NewSource(0x6d726573)))
+		if err != nil {
+			return nil, err
+		}
+		si.mt = mt
+	case IndexVPTree:
+		var f vptree.Flat
+		if err := dec.Decode(&f); err != nil {
+			return nil, fmt.Errorf("decode vp-tree: %v", err)
+		}
+		vt, err := vptree.RestoreFlat(&f, items)
+		if err != nil {
+			return nil, err
+		}
+		si.vt = vt
+	default:
+		return nil, fmt.Errorf("unknown index kind %q", is.Kind)
+	}
+	return si, nil
 }
 
 // loadLegacyEngine is the version-0 fallback: a raw gob database
