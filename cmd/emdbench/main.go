@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine|filter|persist|index] [-scale full|medium|quick] [-csv] [-seed N]
+//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine|filter|persist|index|cascade] [-scale full|medium|quick] [-csv] [-seed N]
 //	         [-dprime D] [-workers N] [-concurrency N] [-timeout D] [-wal FILE] [-out FILE]
 //
 // The full scale approximates the paper's corpus sizes and can take
@@ -38,6 +38,13 @@
 // answers stay bit-identical to the scan baseline, checks nodes
 // expanded per query grow sublinearly in n, and (with -out) writes a
 // JSON report with the end-to-end speedups.
+//
+// -exp cascade benchmarks the auto-tuning cascade planner: a fixed
+// 2-level reduction chain versus an AutoCascade engine that observes
+// the workload and re-plans its own stepwise-d' pyramid. It verifies
+// the answers stay bit-identical across plans, reports exact
+// refinements per query and the end-to-end speedup, and (with -out)
+// writes a JSON report.
 //
 // -exp persist benchmarks the durability layer: atomic snapshot
 // save/load, fsynced write-ahead-log append throughput, checkpoint
@@ -137,6 +144,34 @@ func main() {
 		}
 		if err := runIndex(ic); err != nil {
 			fmt.Fprintf(os.Stderr, "emdbench: index: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *expFlag == "cascade" {
+		// A deliberately loose default d' (d/4) gives the planner head
+		// room: the fixed 2-level chain over-refines, the auto planner
+		// may grow a finer finest level to prune harder.
+		cc := cascadeConfig{
+			scales: []int{2000, 10000}, d: 64, modes: 4,
+			queries: 20, k: 10,
+			seed: *seedFlag, out: *outFlag,
+		}
+		switch *scaleFlag {
+		case "full":
+			cc.scales = []int{10000, 100000}
+			cc.queries = 40
+		case "medium":
+			cc.scales = []int{5000, 20000}
+			cc.queries = 30
+		case "quick":
+		default:
+			fmt.Fprintf(os.Stderr, "emdbench: unknown scale %q (want full, medium or quick)\n", *scaleFlag)
+			os.Exit(2)
+		}
+		if err := runCascade(cc); err != nil {
+			fmt.Fprintf(os.Stderr, "emdbench: cascade: %v\n", err)
 			os.Exit(1)
 		}
 		return

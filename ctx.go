@@ -144,6 +144,8 @@ func (e *Engine) knnCtxOnSnap(ctx context.Context, s *snapshot, q Histogram, k i
 	}
 	ans := &KNNAnswer{Results: live, Stats: out.Stats}
 	e.metrics.observe(metricKNN, out.Stats)
+	e.metrics.resultsReturned(len(live))
+	e.maybeReplan()
 	if !out.Stats.Cancelled {
 		return ans, nil
 	}
@@ -224,6 +226,8 @@ func (e *Engine) RangeCtx(ctx context.Context, q Histogram, eps float64) ([]Resu
 		return nil, nil, e.internalErr("range", err)
 	}
 	e.metrics.observe(metricRange, stats)
+	e.metrics.resultsReturned(len(results))
+	e.maybeReplan()
 	if stats.Cancelled {
 		return results, stats, ctx.Err()
 	}

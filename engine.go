@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"emdsearch/internal/cascadeplan"
 	"emdsearch/internal/cluster"
 	"emdsearch/internal/colscan"
 	"emdsearch/internal/core"
@@ -95,6 +96,19 @@ type Options struct {
 	// 96-dimensional data. When set, ReducedDims must be zero or equal
 	// to the largest entry.
 	Hierarchy []int
+	// AutoCascade lets the engine choose the cascade depth and
+	// per-level d' itself: it starts from the single ReducedDims level,
+	// fits a cost model to the per-stage timings and selectivities
+	// flowing through Metrics, and re-plans in the background when the
+	// observed selectivity drifts — hot-swapping a freshly built
+	// pipeline (possibly with a different finest d' than ReducedDims)
+	// without blocking queries. Every planned level is a certified
+	// lower bound of the next by construction, so answers are
+	// byte-identical across all plans; only the work distribution
+	// changes. Engine.Replan forces a synchronous planning pass.
+	// Requires ReducedDims > 0; incompatible with Hierarchy (a fixed
+	// chain) and AsymmetricQuery (its filter is not a cascade level).
+	AutoCascade bool
 	// Positions optionally gives the feature-space position of each
 	// histogram bin. When set — and only when the cost matrix is the
 	// PositionNorm distance between these positions — the engine adds
@@ -210,7 +224,32 @@ type Engine struct {
 	savedIndex      *savedIndex
 	indexRebuilding bool
 
+	// savedIntrinsic caches the auto-mode intrinsic-dimensionality
+	// estimate across snapshot rebuilds; it is keyed by the same
+	// fingerprint that pins the reduced data, so unchanged corpora do
+	// not re-pay the 512 sampled metric solves per rebuild.
+	savedIntrinsic *savedIntrinsic
+
+	// AutoCascade state: the active plan, the metrics baseline and
+	// expected finest-level selectivity at its adoption (the drift
+	// window), the query countdown to the next drift check, the latch
+	// serializing background re-plans, and the full-dimensional sample
+	// flows stashed by Build for deriving replacement reductions.
+	plan          *cascadeplan.Plan
+	planBase      Metrics
+	planExpPulled float64
+	planTick      atomic.Int64
+	replanning    bool
+	buildFlows    [][]float64
+
 	metrics engineMetrics
+
+	// Test hooks (set only by in-package tests, before the engine is
+	// shared): fault injection and accounting probes on the index build
+	// paths. All nil in production.
+	testHookSyncIndexBuild func(kind string) // a tree is built synchronously on the query path
+	testHookIntrinsicEval  func()            // one intrinsic-dim metric evaluation
+	testHookIndexRebuild   func()            // start of a background rebuild's build phase
 }
 
 // snapshot is an immutable view of everything the query path needs:
@@ -394,6 +433,17 @@ func NewEngine(cost CostMatrix, opts Options) (*Engine, error) {
 		opts.ReducedDims = sorted[0]
 		opts.Hierarchy = sorted
 	}
+	if opts.AutoCascade {
+		if opts.ReducedDims == 0 {
+			return nil, fmt.Errorf("emdsearch: AutoCascade requires ReducedDims > 0")
+		}
+		if len(opts.Hierarchy) > 0 {
+			return nil, fmt.Errorf("emdsearch: AutoCascade conflicts with a fixed Hierarchy")
+		}
+		if opts.AsymmetricQuery {
+			return nil, fmt.Errorf("emdsearch: AutoCascade conflicts with AsymmetricQuery")
+		}
+	}
 	store, err := db.New(rows)
 	if err != nil {
 		return nil, err
@@ -490,6 +540,9 @@ func (e *Engine) Build() error {
 	defer e.mu.Unlock()
 	if e.opts.ReducedDims == 0 {
 		e.red = nil
+		e.cascade = nil
+		e.plan = nil
+		e.buildFlows = nil
 		e.snap = nil
 		return nil
 	}
@@ -497,65 +550,91 @@ func (e *Engine) Build() error {
 		return fmt.Errorf("emdsearch: Build on empty engine")
 	}
 	rng := rand.New(rand.NewSource(e.opts.Seed))
-	var red *core.Reduction
-	var flows [][]float64
-	switch e.opts.Method {
-	case Adjacent:
-		r, err := core.Adjacent(e.store.Dim(), e.opts.ReducedDims)
-		if err != nil {
-			return err
-		}
-		red = r
-	case KMedoids:
-		res, err := cluster.BestOfRestarts(e.cost, e.opts.ReducedDims, 3, rng)
-		if err != nil {
-			return err
-		}
-		red = res.Reduction
-	case FBMod, FBAll:
-		res, err := cluster.BestOfRestarts(e.cost, e.opts.ReducedDims, 3, rng)
-		if err != nil {
-			return err
-		}
-		sample := flowred.Sample(e.store.Vectors(), e.opts.SampleSize, rng)
-		if len(sample) < 2 {
-			return fmt.Errorf("emdsearch: flow-based reduction needs at least 2 indexed histograms")
-		}
-		flows, err = flowred.AverageFlowsParallel(sample, e.dist, 0)
-		if err != nil {
-			return err
-		}
-		var optErr error
-		if e.opts.Method == FBMod {
-			red, _, optErr = flowred.OptimizeMod(res.Reduction.Assignment(), e.opts.ReducedDims, flows, e.cost, flowred.Options{})
-		} else {
-			red, _, optErr = flowred.OptimizeAll(res.Reduction.Assignment(), e.opts.ReducedDims, flows, e.cost, flowred.Options{})
-		}
-		if optErr != nil {
-			return optErr
-		}
-	default:
-		return fmt.Errorf("emdsearch: unknown reduction method %q", e.opts.Method)
+	flows, err := e.collectFlows(e.store.Vectors(), rng)
+	if err != nil {
+		return err
+	}
+	red, err := e.deriveReduction(e.opts.ReducedDims, flows, rng)
+	if err != nil {
+		return err
 	}
 	e.red = red
 	e.cascade = nil
+	e.buildFlows = flows
 	if len(e.opts.Hierarchy) > 1 {
-		cascade, err := e.buildCascade(red, flows, rng)
+		cascade, err := e.buildCascadeFrom(red, flows, e.opts.Hierarchy[1:], rng)
 		if err != nil {
 			return err
 		}
 		e.cascade = cascade
 	}
+	if e.opts.AutoCascade {
+		// Re-plan from scratch: the freshly derived reduction is the
+		// 1-level chain until observed counters argue otherwise.
+		e.resetPlanLocked()
+	}
 	e.snap = nil
 	return nil
 }
 
-// buildCascade derives the coarser nested levels of a hierarchy from
-// the finest reduction: each level clusters (or locally searches) the
+// collectFlows gathers the database sample flows the flow-based
+// reduction methods optimize against; nil (with no error) for the
+// data-independent methods.
+func (e *Engine) collectFlows(vectors []Histogram, rng *rand.Rand) ([][]float64, error) {
+	if e.opts.Method != FBMod && e.opts.Method != FBAll {
+		return nil, nil
+	}
+	sample := flowred.Sample(vectors, e.opts.SampleSize, rng)
+	if len(sample) < 2 {
+		return nil, fmt.Errorf("emdsearch: flow-based reduction needs at least 2 indexed histograms")
+	}
+	return flowred.AverageFlowsParallel(sample, e.dist, 0)
+}
+
+// deriveReduction derives a combining reduction to dims original →
+// dims reduced dimensions with the configured method. flows is the
+// full-dimensional sample flow matrix (used by the flow-based methods
+// only; see collectFlows). It reads only immutable engine state, so
+// the cascade planner may call it without holding e.mu.
+func (e *Engine) deriveReduction(dims int, flows [][]float64, rng *rand.Rand) (*core.Reduction, error) {
+	switch e.opts.Method {
+	case Adjacent:
+		return core.Adjacent(len(e.cost), dims)
+	case KMedoids:
+		res, err := cluster.BestOfRestarts(e.cost, dims, 3, rng)
+		if err != nil {
+			return nil, err
+		}
+		return res.Reduction, nil
+	case FBMod, FBAll:
+		res, err := cluster.BestOfRestarts(e.cost, dims, 3, rng)
+		if err != nil {
+			return nil, err
+		}
+		var red *core.Reduction
+		if e.opts.Method == FBMod {
+			red, _, err = flowred.OptimizeMod(res.Reduction.Assignment(), dims, flows, e.cost, flowred.Options{})
+		} else {
+			red, _, err = flowred.OptimizeAll(res.Reduction.Assignment(), dims, flows, e.cost, flowred.Options{})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return red, nil
+	default:
+		return nil, fmt.Errorf("emdsearch: unknown reduction method %q", e.opts.Method)
+	}
+}
+
+// buildCascadeFrom derives the coarser nested levels of a cascade
+// from the finest reduction: each level in coarser (reduced
+// dimensionalities, descending) clusters (or locally searches) the
 // previous level's *reduced* problem — reduced cost matrix and, for the
 // flow-based methods, aggregated flows — and is composed with it, so
 // every level's optimal reduced EMD lower-bounds the next finer one.
-func (e *Engine) buildCascade(finest *core.Reduction, flows [][]float64, rng *rand.Rand) ([]*core.Reduction, error) {
+// flows is the full-dimensional sample flow matrix. Like
+// deriveReduction it reads only immutable engine state.
+func (e *Engine) buildCascadeFrom(finest *core.Reduction, flows [][]float64, coarser []int, rng *rand.Rand) ([]*core.Reduction, error) {
 	cascade := []*core.Reduction{finest}
 	prev := finest
 	curCost, err := core.ReduceCost(e.cost, prev, prev)
@@ -568,7 +647,7 @@ func (e *Engine) buildCascade(finest *core.Reduction, flows [][]float64, rng *ra
 			return nil, err
 		}
 	}
-	for _, dr := range e.opts.Hierarchy[1:] {
+	for _, dr := range coarser {
 		var inner *core.Reduction
 		switch e.opts.Method {
 		case Adjacent:

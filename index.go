@@ -83,6 +83,20 @@ type savedIndex struct {
 	redHash uint64
 }
 
+// savedIntrinsic caches the auto-mode intrinsic-dimensionality
+// estimate across snapshot rebuilds. The estimate is a function of
+// the live reduced vectors and the index metric only, so (store
+// length, deleted count, reduction fingerprint) pins it exactly —
+// the store is append-only and deletes are soft. Without the cache
+// every snapshot invalidation re-paid indexAutoPairSample metric
+// solves even when nothing relevant changed.
+type savedIntrinsic struct {
+	n       int
+	deleted int
+	redHash uint64
+	rho     float64
+}
+
 // engineIndex is the per-snapshot index state: the tree, the metric it
 // was built under, and the acceptance policy.
 type engineIndex struct {
@@ -243,6 +257,27 @@ func intrinsicDim(ids []int, dist func(i, j int) float64, rng *rand.Rand) float6
 	return mu * mu / (2 * variance)
 }
 
+// cachedIntrinsicLocked returns the intrinsic-dimensionality estimate
+// for the current (n, deleted, reduction) state, computing and caching
+// it only when the fingerprint changed since the last estimate.
+// Caller holds e.mu for writing.
+func (e *Engine) cachedIntrinsicLocked(n int, liveIDs []int, dist func(i, j int) float64, redHash uint64, rng *rand.Rand) float64 {
+	deleted := n - len(liveIDs)
+	if c := e.savedIntrinsic; c != nil && c.n == n && c.deleted == deleted && c.redHash == redHash {
+		return c.rho
+	}
+	if hook := e.testHookIntrinsicEval; hook != nil {
+		inner := dist
+		dist = func(i, j int) float64 {
+			hook()
+			return inner(i, j)
+		}
+	}
+	rho := intrinsicDim(liveIDs, dist, rng)
+	e.savedIntrinsic = &savedIntrinsic{n: n, deleted: deleted, redHash: redHash, rho: rho}
+	return rho
+}
+
 // fourPointHolds samples quadruples of live items and checks the
 // four-point property of the index metric via the planar embedding
 // bound. EMD under an arbitrary ground metric is not guaranteed
@@ -339,11 +374,10 @@ func (e *Engine) attachIndexLocked(snap *snapshot, s *search.Searcher) error {
 		}
 	}
 	rng := rand.New(rand.NewSource(e.opts.Seed ^ 0x6d747265))
-	if auto && intrinsicDim(liveIDs, pairDist, rng) > indexAutoMaxIntrinsicDim {
+	redHash := persist.ReductionHash(e.red.Assignment(), e.red.ReducedDims())
+	if auto && e.cachedIntrinsicLocked(n, liveIDs, pairDist, redHash, rng) > indexAutoMaxIntrinsicDim {
 		return nil
 	}
-
-	redHash := persist.ReductionHash(e.red.Assignment(), e.red.ReducedDims())
 	var mt *mtree.Tree
 	var vt *vptree.Tree
 	built := false
@@ -372,6 +406,22 @@ func (e *Engine) attachIndexLocked(snap *snapshot, s *search.Searcher) error {
 		}
 	}
 	if mt == nil && vt == nil {
+		if kind == IndexVPTree && saved != nil && saved.kind == kind &&
+			saved.redHash == redHash && saved.n < n {
+			// The VP-tree has no incremental insert, so a grown corpus
+			// used to force a full rebuild right here — a synchronous
+			// spike, linear in n, on whichever query triggered the
+			// snapshot after a single Add. Serve the scan path for this
+			// snapshot instead and rebuild in the background; the
+			// install invalidates the snapshot, so the index returns at
+			// the next query after the rebuild lands.
+			e.metrics.indexDeferred()
+			if !e.indexRebuilding {
+				e.indexRebuilding = true
+				go e.rebuildIndex(snap, kind, metric, redHash, n)
+			}
+			return nil
+		}
 		switch kind {
 		case IndexMTree:
 			mt, err = mtree.New(mtree.DistFunc(pairDist), indexMTreeCapacity, rng)
@@ -392,6 +442,9 @@ func (e *Engine) attachIndexLocked(snap *snapshot, s *search.Searcher) error {
 			}
 		}
 		built = true
+		if hook := e.testHookSyncIndexBuild; hook != nil {
+			hook(kind)
+		}
 	}
 	deletedBase := len(snap.deleted)
 	if !built {
@@ -449,11 +502,27 @@ func (e *Engine) attachIndexLocked(snap *snapshot, s *search.Searcher) error {
 // result if the engine still matches the state it was built from.
 // Runs on its own goroutine; e.indexRebuilding serializes rebuilds.
 func (e *Engine) rebuildIndex(snap *snapshot, kind string, metric func(xr, yr Histogram) float64, redHash uint64, n int) {
+	failed := false
 	defer func() {
+		// The latch MUST be released on every exit — error, stale race
+		// or panic — or deep-churn rebuilds are disabled for the
+		// engine's lifetime. And this goroutine is detached: a solver
+		// or tree invariant panic here would kill the whole process if
+		// it escaped, so it is contained and counted like a query-path
+		// panic.
+		if r := recover(); r != nil {
+			failed = true
+		}
+		if failed {
+			e.metrics.indexRebuildFailed()
+		}
 		e.mu.Lock()
 		e.indexRebuilding = false
 		e.mu.Unlock()
 	}()
+	if hook := e.testHookIndexRebuild; hook != nil {
+		hook()
+	}
 	b1, b2 := snap.reducedScratch(), snap.reducedScratch()
 	pairDist := func(i, j int) float64 {
 		return metric(snap.finestReduced(i, b1), snap.finestReduced(j, b2))
@@ -471,6 +540,7 @@ func (e *Engine) rebuildIndex(snap *snapshot, kind string, metric func(xr, yr Hi
 	switch kind {
 	case IndexMTree:
 		if mt, err = mtree.New(mtree.DistFunc(pairDist), indexMTreeCapacity, rng); err != nil {
+			failed = true
 			return
 		}
 		for _, id := range liveIDs {
@@ -482,9 +552,11 @@ func (e *Engine) rebuildIndex(snap *snapshot, kind string, metric func(xr, yr Hi
 			ids[i] = int32(id)
 		}
 		if vt, err = vptree.BuildIDs(ids, vptree.DistFunc(pairDist), rng); err != nil {
+			failed = true
 			return
 		}
 	default:
+		failed = true
 		return
 	}
 	e.mu.Lock()

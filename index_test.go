@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -495,4 +496,216 @@ func TestTortureSnapshotIndexFlipMatrix(t *testing.T) {
 			t.Fatalf("flip at byte %d: err = %v, want a typed persistence error", i, err)
 		}
 	}
+}
+
+// TestVPTreeAddDefersRebuild is the satellite-1 regression: the
+// VP-tree has no incremental insert, so a single Add used to force a
+// synchronous full rebuild inside the very next snapshot build — a
+// latency spike linear in n on the query that happened to trigger it.
+// The grown corpus must instead be served by the scan for that
+// snapshot while the rebuild runs in the background.
+func TestVPTreeAddDefersRebuild(t *testing.T) {
+	const n, k = 100, 5
+	eng, queries := buildEngine(t, indexOpts(IndexVPTree), n)
+	scan, _ := buildEngine(t, Options{ReducedDims: 8, SampleSize: 10}, n)
+	syncBuilds := 0
+	eng.testHookSyncIndexBuild = func(string) { syncBuilds++ }
+
+	if _, _, err := eng.KNN(queries[0], k); err != nil {
+		t.Fatal(err)
+	}
+	if syncBuilds != 1 {
+		t.Fatalf("first query ran %d synchronous builds, want 1", syncBuilds)
+	}
+
+	// Grow both engines identically; the next query must NOT pay a
+	// synchronous rebuild.
+	rng := rand.New(rand.NewSource(41))
+	h := randHist(rng, eng.Dim())
+	if _, err := eng.Add("new", h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scan.Add("new", h); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := scan.KNN(queries[0], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := eng.KNN(queries[0], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syncBuilds != 1 {
+		t.Fatalf("Add->KNN ran %d synchronous builds, want 1 (rebuild must be deferred)", syncBuilds)
+	}
+	if stats.IndexUsed {
+		t.Fatal("deferred snapshot still claims an index")
+	}
+	sameResults(t, "vptree-deferred", "KNN", got, want)
+	if m := eng.Metrics(); m.IndexDeferredBuilds < 1 {
+		t.Fatalf("IndexDeferredBuilds = %d, want >= 1", m.IndexDeferredBuilds)
+	}
+
+	// The background rebuild lands, and the index returns with
+	// identical answers.
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Metrics().IndexBuilds < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background rebuild did not complete: builds=%d", eng.Metrics().IndexBuilds)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, q := range queries {
+		want, _, err := scan.KNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := eng.KNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.IndexUsed {
+			t.Fatal("index not used after the background rebuild")
+		}
+		sameResults(t, "vptree-regrown", "KNN", got, want)
+	}
+	if syncBuilds != 1 {
+		t.Errorf("total synchronous builds = %d, want 1", syncBuilds)
+	}
+}
+
+// TestIntrinsicEstimateCached is the satellite-2 regression: the
+// auto-mode intrinsic-dimensionality estimate (512 sampled pairs of
+// reduced-EMD solves) used to rerun on every snapshot rebuild even
+// when (n, deleted, reduction) — which pin it exactly — were
+// unchanged. Snapshot invalidations that change nothing relevant must
+// hit the cache; mutations that change the key must recompute.
+func TestIntrinsicEstimateCached(t *testing.T) {
+	const d = 8
+	cost := LinearCost(d)
+	eng, err := NewEngine(cost, Options{ReducedDims: 4, SampleSize: 6, IndexKind: IndexAuto, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	// indexAutoMinN live items, so the auto gate reaches the estimate.
+	for i := 0; i < indexAutoMinN+8; i++ {
+		if _, err := eng.Add("", randHist(rng, d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	evals := 0
+	eng.testHookIntrinsicEval = func() { evals++ }
+
+	q := randHist(rng, d)
+	if _, _, err := eng.KNN(q, 3); err != nil {
+		t.Fatal(err)
+	}
+	first := evals
+	if first == 0 {
+		t.Fatal("first snapshot build evaluated no intrinsic-dimensionality pairs")
+	}
+
+	// Invalidate the snapshot without touching items, deletes or the
+	// reduction: the rebuilt pipeline must reuse the cached estimate.
+	for i := 0; i < 3; i++ {
+		eng.mu.Lock()
+		eng.snap = nil
+		eng.mu.Unlock()
+		if _, _, err := eng.KNN(q, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if evals != first {
+		t.Fatalf("unchanged fingerprint recomputed the estimate: %d evaluations, want %d", evals, first)
+	}
+
+	// A mutation that changes the key must recompute.
+	if err := eng.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.KNN(q, 3); err != nil {
+		t.Fatal(err)
+	}
+	if evals <= first {
+		t.Fatalf("changed fingerprint did not recompute the estimate (evals still %d)", evals)
+	}
+}
+
+// TestIndexRebuildFailureClearsLatch is the satellite-3 regression: a
+// background index rebuild that dies — here by injected panic — must
+// release the e.indexRebuilding latch and count the failure, or every
+// future deferred/churn rebuild is silently disabled for the engine's
+// lifetime. A subsequent rebuild must then succeed.
+func TestIndexRebuildFailureClearsLatch(t *testing.T) {
+	const n, k = 100, 5
+	eng, queries := buildEngine(t, indexOpts(IndexVPTree), n)
+	scan, _ := buildEngine(t, Options{ReducedDims: 8, SampleSize: 10}, n)
+	var rebuilds atomic.Int32
+	eng.testHookIndexRebuild = func() {
+		if rebuilds.Add(1) == 1 {
+			panic("injected rebuild failure")
+		}
+	}
+	if _, _, err := eng.KNN(queries[0], k); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the corpus: the next query defers to a background rebuild,
+	// which panics.
+	rng := rand.New(rand.NewSource(42))
+	h := randHist(rng, eng.Dim())
+	if _, err := eng.Add("boom", h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scan.Add("boom", h); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.KNN(queries[0], k); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Metrics().IndexRebuildFailures < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("injected rebuild failure was never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The latch must be free again: the next snapshot rebuild (another
+	// grow) kicks a fresh background rebuild, which succeeds and
+	// restores the index.
+	h = randHist(rng, eng.Dim())
+	if _, err := eng.Add("again", h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scan.Add("again", h); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.KNN(queries[0], k); err != nil {
+		t.Fatal(err)
+	}
+	for eng.Metrics().IndexBuilds < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rebuild after a failed one never ran: latch leaked (builds=%d, rebuild calls=%d)",
+				eng.Metrics().IndexBuilds, rebuilds.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	want, _, err := scan.KNN(queries[0], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := eng.KNN(queries[0], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.IndexUsed {
+		t.Fatal("index not used after the recovered rebuild")
+	}
+	sameResults(t, "vptree-recovered", "KNN", got, want)
 }

@@ -1,0 +1,383 @@
+// Package cascadeplan chooses the depth and per-level reduced
+// dimensionalities d' of the engine's lower-bound filter cascade from
+// observed per-stage counters.
+//
+// The model prices a candidate chain m_1 < m_2 < ... < m_L per query
+// as
+//
+//	base·c(m_1) + Σ_j s(m_{j-1})·c(m_j) + s(m_L)·r + L·overhead
+//
+// where base is the number of items entering the first reduced-EMD
+// level (the survivors of the always-on IM prefix), c(m) is the
+// fitted per-item cost of an m-dimensional reduced-EMD evaluation,
+// s(m) is the expected number of items per query whose level-m lower
+// bound stays below the pruning threshold, and r is the measured
+// per-item exact refinement cost. Because cascade levels are nested,
+// an item surviving level m survives every coarser level too, so s(m)
+// is a property of the level alone — not of the chain it was observed
+// under — which is what makes counters observed under one chain
+// transferable to another.
+//
+// Fitting is deliberately simple: per-item cost follows c(m) = A·m³+B
+// (simplex work grows roughly cubically in the level dimensionality,
+// plus a fixed per-item overhead), and survivor counts are
+// interpolated log-log between the observed levels, anchored at
+// (1, base) on the coarse end and (d, answers-per-query) on the fine
+// end. The proposal step then runs an exact dynamic program over the
+// candidate dimensionalities — the chain cost depends on the previous
+// level only through its survivor count, so the cheapest chain ending
+// at each candidate is computable left to right.
+package cascadeplan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+)
+
+// Observation is one filter level's aggregated counters over a window
+// of queries: how many items it evaluated, how many of those survived
+// (were consumed by the next stage or pulled for refinement), and the
+// wall time it took.
+type Observation struct {
+	Dims        int
+	Evaluations int64
+	Survivors   int64
+	Time        time.Duration
+}
+
+// Workload is everything the planner consumes: per-level observations
+// plus the refinement counters, all aggregated over Queries served
+// queries.
+type Workload struct {
+	// Queries is the number of queries the counters aggregate over.
+	Queries int64
+	// Dim is the original histogram dimensionality d.
+	Dim int
+	// Levels are the observed reduced-EMD filter levels, any order.
+	Levels []Observation
+	// Refinements and RefineTime are the exact-refinement counters of
+	// the window; Results is the total number of answers returned
+	// (the irreducible floor of per-query survivors at full
+	// dimensionality).
+	Refinements int64
+	RefineTime  time.Duration
+	Results     int64
+}
+
+// Plan is a proposed cascade: per-level reduced dimensionalities in
+// ascending (coarse→fine) order, the model's predicted per-query cost
+// in nanoseconds, and a fingerprint of the levels.
+type Plan struct {
+	Levels []int
+	Cost   float64
+	ID     uint64
+}
+
+// Config tunes the planner.
+type Config struct {
+	// OverheadNS is the fixed per-level per-query cost (stage setup,
+	// query reduction, ranking bookkeeping) charged to discourage
+	// gratuitous depth; 0 selects the default of 5µs.
+	OverheadNS float64
+}
+
+// defaultOverheadNS is the per-level depth regularizer: roughly the
+// cost of preparing a query reduction and threading one more lazy
+// stage through the candidate ranking.
+const defaultOverheadNS = 5_000
+
+// fixedCostShare is the fraction of a single observed per-item cost
+// attributed to dimension-independent overhead when only one level
+// has been observed and the intercept cannot be fitted.
+const fixedCostShare = 0.15
+
+// minSurvivors floors every survivor estimate: log-log interpolation
+// needs strictly positive points, and a level observed to prune
+// everything still costs at least "almost nothing survived".
+const minSurvivors = 0.25
+
+// PlanID fingerprints a level chain (FNV-64a over the dims), so plans
+// can be compared and persisted without comparing slices.
+func PlanID(levels []int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(levels)))
+	h.Write(b[:])
+	for _, l := range levels {
+		binary.LittleEndian.PutUint64(b[:], uint64(l))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// survPoint is one anchor of the survivor curve.
+type survPoint struct {
+	dims float64
+	s    float64
+}
+
+// Model is a fitted workload model; see the package comment for the
+// cost structure.
+type Model struct {
+	dim        int
+	base       float64 // items entering the first reduced-EMD level, per query
+	costA      float64 // per-item cost: costA·m³ + costB, in ns
+	costB      float64
+	refineNS   float64 // per-item exact refinement cost, ns
+	overheadNS float64
+	surv       []survPoint // ascending dims, nonincreasing survivors
+}
+
+// Fit fits the cost and survivor curves from a workload window. It
+// fails when the window carries no usable signal (no queries, no
+// level observations, or no evaluation counts).
+func Fit(w Workload, cfg Config) (*Model, error) {
+	if w.Queries < 1 {
+		return nil, fmt.Errorf("cascadeplan: workload covers %d queries", w.Queries)
+	}
+	if w.Dim < 2 {
+		return nil, fmt.Errorf("cascadeplan: dimensionality %d, want >= 2", w.Dim)
+	}
+	obs := make([]Observation, 0, len(w.Levels))
+	for _, o := range w.Levels {
+		if o.Dims >= 1 && o.Dims <= w.Dim && o.Evaluations > 0 {
+			obs = append(obs, o)
+		}
+	}
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("cascadeplan: no level observations with evaluations")
+	}
+	sort.Slice(obs, func(i, j int) bool { return obs[i].Dims < obs[j].Dims })
+
+	m := &Model{dim: w.Dim, overheadNS: cfg.OverheadNS}
+	if m.overheadNS <= 0 {
+		m.overheadNS = defaultOverheadNS
+	}
+	q := float64(w.Queries)
+	// The coarsest observed level sees everything the IM prefix let
+	// through; that entry rate is chain-independent to first order.
+	m.base = float64(obs[0].Evaluations) / q
+
+	m.fitEvalCost(obs)
+	if w.Refinements > 0 && w.RefineTime > 0 {
+		m.refineNS = float64(w.RefineTime) / float64(w.Refinements)
+	} else {
+		// No refinement signal yet: price refinement as a full-
+		// dimensional evaluation, the natural continuation of c(m).
+		m.refineNS = m.EvalCost(w.Dim)
+	}
+
+	// Survivor anchors: (1, base) — a one-bin bound prunes nothing
+	// beyond the prefix — the observed levels, and the answer floor at
+	// full dimensionality (a perfect bound still passes the answers).
+	floor := math.Max(1, float64(w.Results)/q)
+	points := map[float64]float64{1: m.base, float64(w.Dim): floor}
+	for _, o := range obs {
+		s := float64(o.Survivors) / q
+		if prev, ok := points[float64(o.Dims)]; !ok || s < prev {
+			points[float64(o.Dims)] = s
+		}
+	}
+	for d, s := range points {
+		m.surv = append(m.surv, survPoint{dims: d, s: math.Max(s, minSurvivors)})
+	}
+	sort.Slice(m.surv, func(i, j int) bool { return m.surv[i].dims < m.surv[j].dims })
+	// Monotone repair: finer levels cannot pass more than coarser ones.
+	for i := 1; i < len(m.surv); i++ {
+		if m.surv[i].s > m.surv[i-1].s {
+			m.surv[i].s = m.surv[i-1].s
+		}
+	}
+	return m, nil
+}
+
+// fitEvalCost fits c(m) = A·m³ + B (ns per evaluation) from the
+// observed per-level per-item costs.
+func (m *Model) fitEvalCost(obs []Observation) {
+	type pt struct{ x, y float64 } // x = m³, y = ns/eval
+	var pts []pt
+	for _, o := range obs {
+		if o.Time <= 0 {
+			continue
+		}
+		x := float64(o.Dims) * float64(o.Dims) * float64(o.Dims)
+		pts = append(pts, pt{x: x, y: float64(o.Time) / float64(o.Evaluations)})
+	}
+	switch len(pts) {
+	case 0:
+		// No timings (cold engine): fall back to a nominal 1µs at the
+		// coarsest observed level so proposals are still well-ordered.
+		x := float64(obs[0].Dims)
+		m.costA = (1 - fixedCostShare) * 1000 / (x * x * x)
+		m.costB = fixedCostShare * 1000
+	case 1:
+		m.costA = (1 - fixedCostShare) * pts[0].y / pts[0].x
+		m.costB = fixedCostShare * pts[0].y
+	default:
+		var sx, sy, sxx, sxy float64
+		for _, p := range pts {
+			sx += p.x
+			sy += p.y
+			sxx += p.x * p.x
+			sxy += p.x * p.y
+		}
+		n := float64(len(pts))
+		det := n*sxx - sx*sx
+		if det > 0 {
+			m.costA = (n*sxy - sx*sy) / det
+			m.costB = (sy*sxx - sx*sxy) / det
+		}
+		if m.costA <= 0 {
+			// Degenerate fit (identical dims, noise): flat cost.
+			m.costA, m.costB = 0, sy/n
+		} else if m.costB < 0 {
+			m.costB = 0
+			m.costA = sxy / sxx
+		}
+	}
+}
+
+// EvalCost predicts the per-item cost, in nanoseconds, of one
+// reduced-EMD evaluation at the given level dimensionality.
+func (m *Model) EvalCost(dims int) float64 {
+	x := float64(dims)
+	c := m.costA*x*x*x + m.costB
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Survivors predicts how many items per query survive a level of the
+// given dimensionality (log-log interpolation between the anchors,
+// clamped at the ends).
+func (m *Model) Survivors(dims int) float64 {
+	x := float64(dims)
+	if x <= m.surv[0].dims {
+		return m.surv[0].s
+	}
+	last := m.surv[len(m.surv)-1]
+	if x >= last.dims {
+		return last.s
+	}
+	for i := 1; i < len(m.surv); i++ {
+		p0, p1 := m.surv[i-1], m.surv[i]
+		if x > p1.dims {
+			continue
+		}
+		t := (math.Log(x) - math.Log(p0.dims)) / (math.Log(p1.dims) - math.Log(p0.dims))
+		return math.Exp(math.Log(p0.s) + t*(math.Log(p1.s)-math.Log(p0.s)))
+	}
+	return last.s
+}
+
+// ChainCost predicts the per-query cost, in nanoseconds, of a chain
+// of levels (ascending coarse→fine, distinct, within [1, d]).
+func (m *Model) ChainCost(levels []int) (float64, error) {
+	if err := ValidateLevels(levels, m.dim); err != nil {
+		return 0, err
+	}
+	cost := m.base * m.EvalCost(levels[0])
+	for i := 1; i < len(levels); i++ {
+		cost += m.Survivors(levels[i-1]) * m.EvalCost(levels[i])
+	}
+	cost += m.Survivors(levels[len(levels)-1]) * m.refineNS
+	cost += float64(len(levels)) * m.overheadNS
+	return cost, nil
+}
+
+// ValidateLevels checks a chain is strictly ascending and within
+// [1, dim].
+func ValidateLevels(levels []int, dim int) error {
+	if len(levels) == 0 {
+		return fmt.Errorf("cascadeplan: empty chain")
+	}
+	for i, l := range levels {
+		if l < 1 || l > dim {
+			return fmt.Errorf("cascadeplan: level %d out of range [1, %d]", l, dim)
+		}
+		if i > 0 && l <= levels[i-1] {
+			return fmt.Errorf("cascadeplan: levels not strictly ascending: %v", levels)
+		}
+	}
+	return nil
+}
+
+// Candidates returns the default candidate dimensionalities for a
+// d-dimensional space — the powers of two in [2, d) — merged with any
+// extra dims (typically the currently-active chain's levels, so the
+// incumbent is always representable), deduplicated and ascending.
+func Candidates(dim int, extra ...int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for p := 2; p < dim; p *= 2 {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, x := range extra {
+		if x >= 1 && x <= dim && !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Propose returns the cheapest chain over the candidate set (see
+// Candidates; extras typically carry the incumbent chain's levels).
+// The dynamic program is exact: the cost of extending a chain depends
+// on its last level only, so the cheapest chain ending at each
+// candidate is computed left to right and closed with the refinement
+// term.
+func (m *Model) Propose(extra ...int) (*Plan, error) {
+	cand := Candidates(m.dim, extra...)
+	if len(cand) == 0 {
+		return nil, fmt.Errorf("cascadeplan: no candidate levels for d=%d", m.dim)
+	}
+	type cell struct {
+		cost float64
+		prev int
+	}
+	f := make([]cell, len(cand))
+	for j := range cand {
+		c := m.EvalCost(cand[j])
+		best, prev := m.base*c, -1
+		for i := 0; i < j; i++ {
+			if v := f[i].cost + m.Survivors(cand[i])*c; v < best {
+				best, prev = v, i
+			}
+		}
+		f[j] = cell{cost: best + m.overheadNS, prev: prev}
+	}
+	bestCost, bestEnd := math.Inf(1), -1
+	for j := range cand {
+		if v := f[j].cost + m.Survivors(cand[j])*m.refineNS; v < bestCost {
+			bestCost, bestEnd = v, j
+		}
+	}
+	var levels []int
+	for j := bestEnd; j >= 0; j = f[j].prev {
+		levels = append(levels, cand[j])
+	}
+	for i, j := 0, len(levels)-1; i < j; i, j = i+1, j-1 {
+		levels[i], levels[j] = levels[j], levels[i]
+	}
+	return &Plan{Levels: levels, Cost: bestCost, ID: PlanID(levels)}, nil
+}
+
+// Propose is the one-call convenience: fit a model from the workload
+// and return its cheapest chain.
+func Propose(w Workload, cfg Config, extra ...int) (*Plan, error) {
+	m, err := Fit(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Propose(extra...)
+}

@@ -1,0 +1,248 @@
+package cascadeplan
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// workload32 builds a plausible window for d=32, d'=16: 1000 items
+// enter the level, ~60 survive to refinement, refinement is expensive.
+func workload32() Workload {
+	return Workload{
+		Queries: 100,
+		Dim:     32,
+		Levels: []Observation{
+			{Dims: 16, Evaluations: 100_000, Survivors: 6_000, Time: 500 * time.Millisecond},
+		},
+		Refinements: 6_000,
+		RefineTime:  3 * time.Second, // 500µs per exact solve
+		Results:     1_000,           // k=10
+	}
+}
+
+func TestFitRejectsEmptyWindows(t *testing.T) {
+	cases := []Workload{
+		{},
+		{Queries: 10, Dim: 32},
+		{Queries: 0, Dim: 32, Levels: []Observation{{Dims: 16, Evaluations: 10}}},
+		{Queries: 10, Dim: 1, Levels: []Observation{{Dims: 1, Evaluations: 10}}},
+		{Queries: 10, Dim: 32, Levels: []Observation{{Dims: 16, Evaluations: 0}}},
+	}
+	for i, w := range cases {
+		if _, err := Fit(w, Config{}); err == nil {
+			t.Errorf("case %d: Fit accepted an unusable window %+v", i, w)
+		}
+	}
+}
+
+func TestEvalCostCubicAndMonotone(t *testing.T) {
+	m, err := Fit(workload32(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, d := range []int{2, 4, 8, 16, 32} {
+		c := m.EvalCost(d)
+		if c <= prev {
+			t.Fatalf("EvalCost(%d) = %g, not increasing (prev %g)", d, c, prev)
+		}
+		prev = c
+	}
+	// The observed point must be roughly reproduced: 500ms / 100k
+	// evaluations = 5µs per 16-dim evaluation.
+	if got := m.EvalCost(16); math.Abs(got-5000) > 1 {
+		t.Fatalf("EvalCost(16) = %g ns, want ~5000", got)
+	}
+}
+
+func TestSurvivorsInterpolatesMonotone(t *testing.T) {
+	m, err := Fit(workload32(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchors: (1, 1000), (16, 60), (32, 10).
+	if got := m.Survivors(1); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("Survivors(1) = %g, want 1000", got)
+	}
+	if got := m.Survivors(16); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("Survivors(16) = %g, want 60", got)
+	}
+	if got := m.Survivors(32); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Survivors(32) = %g, want 10", got)
+	}
+	prev := math.Inf(1)
+	for d := 1; d <= 32; d++ {
+		s := m.Survivors(d)
+		if s > prev+1e-9 {
+			t.Fatalf("Survivors(%d) = %g > Survivors(%d) = %g", d, s, d-1, prev)
+		}
+		if s < minSurvivors-1e-12 {
+			t.Fatalf("Survivors(%d) = %g below floor", d, s)
+		}
+		prev = s
+	}
+}
+
+func TestProposePrefersPyramidWhenRefinementDominates(t *testing.T) {
+	// Expensive refinement + loose observed level: the planner should
+	// both prepend a cheap coarse level and push the finest level past
+	// the observed d'=8 to cut survivors before the exact stage.
+	w := Workload{
+		Queries: 200,
+		Dim:     64,
+		Levels: []Observation{
+			{Dims: 8, Evaluations: 2_000_000, Survivors: 400_000, Time: 2 * time.Second},
+		},
+		Refinements: 400_000,
+		RefineTime:  400 * time.Second, // 1ms per exact solve
+		Results:     2_000,
+	}
+	m, err := Fit(w, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := m.Propose(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateLevels(plan.Levels, w.Dim); err != nil {
+		t.Fatalf("proposed invalid chain: %v", err)
+	}
+	finest := plan.Levels[len(plan.Levels)-1]
+	if finest <= 8 {
+		t.Fatalf("plan %v keeps finest at %d; expensive refinement should push it finer", plan.Levels, finest)
+	}
+	// The proposal must beat the incumbent single-level chain under
+	// the same model.
+	incumbent, err := m.ChainCost([]int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost >= incumbent {
+		t.Fatalf("plan cost %g not below incumbent %g", plan.Cost, incumbent)
+	}
+	if plan.ID != PlanID(plan.Levels) {
+		t.Fatalf("plan ID mismatch")
+	}
+}
+
+func TestProposeKeepsCoarseFinestWhenRefinementIsCheap(t *testing.T) {
+	// Refinement as cheap as a filter evaluation: there is nothing to
+	// gain from pruning harder before the exact stage, so the finest
+	// level must not be pushed past the observed d'. (Prepending an
+	// even coarser level can still pay — that saves filter cost.)
+	w := Workload{
+		Queries: 100,
+		Dim:     32,
+		Levels: []Observation{
+			{Dims: 8, Evaluations: 100_000, Survivors: 5_000, Time: 100 * time.Millisecond},
+		},
+		Refinements: 5_000,
+		RefineTime:  10 * time.Millisecond, // 2µs: cheaper than most levels
+		Results:     1_000,
+	}
+	m, err := Fit(w, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := m.Propose(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finest := plan.Levels[len(plan.Levels)-1]; finest > 8 {
+		t.Fatalf("plan %v: cheap refinement should not push the finest level past 8", plan.Levels)
+	}
+}
+
+func TestProposeIsDPOptimal(t *testing.T) {
+	// Brute-force all subsets of the candidate set and check the DP
+	// found the cheapest chain.
+	m, err := Fit(workload32(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := m.Propose(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := Candidates(32, 16) // {2,4,8,16}
+	best := math.Inf(1)
+	var bestLevels []int
+	for mask := 1; mask < 1<<len(cand); mask++ {
+		var levels []int
+		for i, c := range cand {
+			if mask&(1<<i) != 0 {
+				levels = append(levels, c)
+			}
+		}
+		cost, err := m.ChainCost(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost < best {
+			best, bestLevels = cost, levels
+		}
+	}
+	if math.Abs(plan.Cost-best) > 1e-6 {
+		t.Fatalf("Propose cost %g (levels %v) != brute-force optimum %g (levels %v)",
+			plan.Cost, plan.Levels, best, bestLevels)
+	}
+}
+
+func TestChainCostValidation(t *testing.T) {
+	m, err := Fit(workload32(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, levels := range [][]int{nil, {0}, {33}, {8, 8}, {16, 8}} {
+		if _, err := m.ChainCost(levels); err == nil {
+			t.Errorf("ChainCost(%v) accepted an invalid chain", levels)
+		}
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	got := Candidates(32, 24, 32, 0, -1, 2)
+	want := []int{2, 4, 8, 16, 24, 32}
+	if len(got) != len(want) {
+		t.Fatalf("Candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlanIDDistinguishesChains(t *testing.T) {
+	ids := map[uint64][]int{}
+	for _, levels := range [][]int{{8}, {2, 8}, {4, 8}, {2, 4, 8}, {2, 4, 16}} {
+		id := PlanID(levels)
+		if prev, dup := ids[id]; dup {
+			t.Fatalf("PlanID collision between %v and %v", prev, levels)
+		}
+		ids[id] = levels
+	}
+}
+
+func TestFitColdEngineNoTimings(t *testing.T) {
+	// Zero durations (counters observed before any timing accrued):
+	// the model must still produce ordered costs and a valid plan.
+	w := Workload{
+		Queries: 10,
+		Dim:     32,
+		Levels:  []Observation{{Dims: 8, Evaluations: 1000, Survivors: 100}},
+		Results: 50,
+	}
+	m, err := Fit(w, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EvalCost(2) >= m.EvalCost(32) {
+		t.Fatalf("cold-engine costs not ordered")
+	}
+	if _, err := m.Propose(8); err != nil {
+		t.Fatal(err)
+	}
+}

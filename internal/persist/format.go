@@ -45,9 +45,10 @@ const Magic = "EMDSNAP\x00"
 
 // SnapshotVersion is the current snapshot format version. Version 2
 // added the optional quantized-filter section, version 3 the optional
-// metric-index section; older versions are still read (the engine
-// rebuilds the missing structures from the items).
-const SnapshotVersion = 3
+// metric-index section, version 4 the optional cascade/plan section;
+// older versions are still read (the engine rebuilds the missing
+// structures from the items, and re-plans a missing cascade).
+const SnapshotVersion = 4
 
 // maxFrame bounds a single frame body; larger declared lengths can
 // only come from damage.
@@ -146,6 +147,27 @@ type IndexSection struct {
 	Blob []byte
 }
 
+// CascadeSection is the persisted reduction cascade and, for engines
+// running the auto-tuning planner, the plan that produced it. Levels
+// holds the cascade levels finest-first, Levels[0] duplicating
+// EngineReduction (readers cross-check); every entry reduces the full
+// original dimensionality, and successive entries are nested
+// coarsenings of their predecessor (original bins mapped to the same
+// group by a finer level map to the same group in every coarser one —
+// the property the cascade's lower-bound chain rests on). Levels is
+// nil when an auto-planned engine runs a single filter level.
+// PlanLevels lists the planned d' chain ascending (coarsest first) and
+// is nil for configured (Hierarchy) chains; PlanID is the planner's
+// fingerprint of PlanLevels.
+type CascadeSection struct {
+	Levels     []Reduction
+	PlanLevels []int
+	PlanID     uint64
+	// Auto records whether the chain was chosen by the auto-tuning
+	// planner (true) or configured explicitly (false).
+	Auto bool
+}
+
 // Snapshot is the full persisted engine state.
 type Snapshot struct {
 	Header Header
@@ -164,6 +186,10 @@ type Snapshot struct {
 	// Index is the metric index, nil when the engine had none built
 	// (and always nil in files before version 3).
 	Index *IndexSection
+	// Cascade is the reduction cascade and plan, nil when the engine
+	// ran a single filter level (and always nil in files before
+	// version 4).
+	Cascade *CascadeSection
 }
 
 // reductionsSection is the gob payload of the third snapshot section.
@@ -182,6 +208,12 @@ type quantSection struct {
 // pointer encodes presence.
 type indexSection struct {
 	Index *IndexSection
+}
+
+// cascadeSection is the gob payload of the seventh snapshot section;
+// the pointer encodes presence.
+type cascadeSection struct {
+	Cascade *CascadeSection
 }
 
 // CostHash fingerprints a ground-distance matrix: shape plus the exact
@@ -311,7 +343,7 @@ func readGobFrame(r io.Reader, v interface{}, section string) error {
 // WriteSnapshot writes s to w in the versioned format: magic, version
 // word, then one CRC-framed gob section each for the header, the
 // items, the reductions, the deleted set, and the (possibly absent)
-// quantized filter and metric index.
+// quantized filter, metric index, and reduction cascade.
 func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	if s.Header.Items != len(s.Items) {
 		return fmt.Errorf("persist: header declares %d items, snapshot carries %d", s.Header.Items, len(s.Items))
@@ -339,7 +371,10 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	if err := gobFrame(w, quantSection{Quant: s.Quant}); err != nil {
 		return err
 	}
-	return gobFrame(w, indexSection{Index: s.Index})
+	if err := gobFrame(w, indexSection{Index: s.Index}); err != nil {
+		return err
+	}
+	return gobFrame(w, cascadeSection{Cascade: s.Cascade})
 }
 
 // ReadSnapshot reads a snapshot written by WriteSnapshot. Every
@@ -385,6 +420,13 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 			return nil, err
 		}
 		s.Index = is.Index
+	}
+	if version >= 4 {
+		var cs cascadeSection
+		if err := readGobFrame(r, &cs, "cascade"); err != nil {
+			return nil, err
+		}
+		s.Cascade = cs.Cascade
 	}
 	if s.Header.Items != len(s.Items) {
 		return nil, fmt.Errorf("%w: header declares %d items, snapshot carries %d", ErrCorrupt, s.Header.Items, len(s.Items))

@@ -75,6 +75,14 @@ type Metrics struct {
 	IndexQueries      int64 `json:"index_queries"`
 	IndexNodesVisited int64 `json:"index_nodes_visited"`
 	IndexPruned       int64 `json:"index_pruned"`
+	// IndexDeferredBuilds counts snapshot builds that found a stale
+	// saved tree and handed reconstruction to the background rebuild
+	// path (serving the scan meanwhile) instead of rebuilding
+	// synchronously on the query path. IndexRebuildFailures counts
+	// background rebuilds that errored or panicked — the rebuild latch
+	// is released either way, so a later rebuild can retry.
+	IndexDeferredBuilds  int64 `json:"index_deferred_builds"`
+	IndexRebuildFailures int64 `json:"index_rebuild_failures"`
 
 	// WALAppends counts mutations (Add/Delete) durably appended to an
 	// open write-ahead log; WALReplayed counts log records applied by
@@ -85,6 +93,15 @@ type Metrics struct {
 	WALReplayed   int64 `json:"wal_replayed"`
 	SnapshotSaves int64 `json:"snapshot_saves"`
 	Checkpoints   int64 `json:"checkpoints"`
+
+	// CascadeReplans counts adopted background/forced re-plans under
+	// Options.AutoCascade (the initial Build-time plan is not a
+	// re-plan). CascadePlan and CascadePlanID describe the active
+	// chain: per-level reduced dimensionalities ascending coarse→fine
+	// and their fingerprint. Empty/0 when no auto plan is active.
+	CascadeReplans int64  `json:"cascade_replans"`
+	CascadePlan    []int  `json:"cascade_plan,omitempty"`
+	CascadePlanID  uint64 `json:"cascade_plan_id,omitempty"`
 
 	// Pulled, Refinements and RefinementsSkipped are the summed
 	// QueryStats counters of all served KNN/Range queries.
@@ -102,6 +119,11 @@ type Metrics struct {
 	// Refinements for the average solved shape.
 	RefineRows int64 `json:"refine_rows"`
 	RefineCols int64 `json:"refine_cols"`
+
+	// ResultsReturned is the total number of answer rows KNN and Range
+	// queries returned — the irreducible floor of per-query filter
+	// survivors that the cascade planner anchors its model on.
+	ResultsReturned int64 `json:"results_returned"`
 
 	// FilterTime and RefineTime are cumulative wall times of the
 	// filter and refinement stages; RefineTime sums across refinement
@@ -248,6 +270,41 @@ func (em *engineMetrics) indexReused() {
 	em.mu.Unlock()
 }
 
+func (em *engineMetrics) indexDeferred() {
+	em.mu.Lock()
+	em.m.IndexDeferredBuilds++
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) indexRebuildFailed() {
+	em.mu.Lock()
+	em.m.IndexRebuildFailures++
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) resultsReturned(n int) {
+	em.mu.Lock()
+	em.m.ResultsReturned += int64(n)
+	em.mu.Unlock()
+}
+
+// planActive records the active cascade plan; planReplanned
+// additionally counts an adopted re-plan.
+func (em *engineMetrics) planActive(levels []int, id uint64) {
+	em.mu.Lock()
+	em.m.CascadePlan = append([]int(nil), levels...)
+	em.m.CascadePlanID = id
+	em.mu.Unlock()
+}
+
+func (em *engineMetrics) planReplanned(levels []int, id uint64) {
+	em.mu.Lock()
+	em.m.CascadeReplans++
+	em.m.CascadePlan = append([]int(nil), levels...)
+	em.m.CascadePlanID = id
+	em.mu.Unlock()
+}
+
 func (em *engineMetrics) walAppended() {
 	em.mu.Lock()
 	em.m.WALAppends++
@@ -285,5 +342,6 @@ func (e *Engine) Metrics() Metrics {
 			out.Stages[name] = st
 		}
 	}
+	out.CascadePlan = append([]int(nil), e.metrics.m.CascadePlan...)
 	return out
 }

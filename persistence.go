@@ -10,6 +10,7 @@ import (
 	"os"
 	"sort"
 
+	"emdsearch/internal/cascadeplan"
 	"emdsearch/internal/colscan"
 	"emdsearch/internal/core"
 	"emdsearch/internal/db"
@@ -121,6 +122,26 @@ func (e *Engine) snapshotRecordLocked() *persist.Snapshot {
 			}
 		}
 	}
+	// Persist the reduction cascade and the auto-cascade plan. Unlike
+	// the quantized filter and the index, these are not rebuildable
+	// optimizations — re-deriving a cascade consumes randomness and an
+	// auto plan encodes observed workload history — so they are saved
+	// whenever present and validated structurally on load.
+	var cascade *persist.CascadeSection
+	if len(e.cascade) > 1 || e.plan != nil {
+		cascade = &persist.CascadeSection{}
+		if len(e.cascade) > 1 {
+			cascade.Levels = make([]persist.Reduction, len(e.cascade))
+			for i, r := range e.cascade {
+				cascade.Levels[i] = persist.Reduction{Assign: r.Assignment(), Reduced: r.ReducedDims()}
+			}
+		}
+		if e.plan != nil {
+			cascade.PlanLevels = append([]int(nil), e.plan.Levels...)
+			cascade.PlanID = e.plan.ID
+			cascade.Auto = e.opts.AutoCascade
+		}
+	}
 	return &persist.Snapshot{
 		Header: persist.Header{
 			Dim:         e.store.Dim(),
@@ -134,6 +155,7 @@ func (e *Engine) snapshotRecordLocked() *persist.Snapshot {
 		Deleted:         deleted,
 		Quant:           quant,
 		Index:           index,
+		Cascade:         cascade,
 	}
 }
 
@@ -187,10 +209,13 @@ func (e *Engine) saveFileLocked(path string) error {
 // checksums and no soft-deleted set; undecodable legacy bytes fail
 // with ErrCorrupt.
 //
-// Only the finest reduction is persisted: an engine configured with a
-// Hierarchy answers queries exactly after loading but runs the
-// single-level filter until Build is called again to re-derive the
-// cascade.
+// Snapshots carry the full reduction cascade and the auto-cascade
+// plan (format version 4). A Hierarchy engine whose configured levels
+// match the saved chain, and any AutoCascade engine, resume the full
+// cascade immediately; otherwise — including files written before
+// version 4 — the engine answers queries exactly after loading but
+// runs the single-level filter until Build re-derives the cascade (or
+// the auto planner re-plans one).
 func LoadEngine(r io.Reader, cost CostMatrix, opts Options) (*Engine, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(persist.Magic))
@@ -263,7 +288,12 @@ func engineFromSnapshot(s *persist.Snapshot, cost CostMatrix, opts Options) (*En
 			return nil, fmt.Errorf("emdsearch: %w: snapshot engine reduction covers %d dimensions, want %d",
 				ErrCorrupt, red.OriginalDims(), e.Dim())
 		}
-		if opts.ReducedDims != 0 && red.ReducedDims() != e.opts.ReducedDims {
+		// Under AutoCascade, Options.ReducedDims is the planner's
+		// starting point rather than a contract: a re-plan may have
+		// re-derived the finest level at a different d', and that is
+		// exactly the state a snapshot preserves. Skip the exact-match
+		// check there; everywhere else a disagreement is a misconfig.
+		if opts.ReducedDims != 0 && red.ReducedDims() != e.opts.ReducedDims && !opts.AutoCascade {
 			return nil, fmt.Errorf("emdsearch: %w: saved reduction has d'=%d, options request %d",
 				ErrConfigMismatch, red.ReducedDims(), e.opts.ReducedDims)
 		}
@@ -302,7 +332,133 @@ func engineFromSnapshot(s *persist.Snapshot, cost CostMatrix, opts Options) (*En
 		}
 		e.savedIndex = si
 	}
+	if s.Cascade != nil {
+		levels, planLevels, planID, err := restoreCascadeSection(s.Cascade, e.red, e.Dim())
+		if err != nil {
+			return nil, fmt.Errorf("emdsearch: %w: cascade: %v", ErrCorrupt, err)
+		}
+		// Adoption policy: an AutoCascade engine takes both the chain
+		// and the plan (the planner resumes from the persisted state and
+		// re-plans on drift); a Hierarchy engine takes the chain only
+		// when it matches its configured levels exactly; anyone else
+		// drops the section and runs the single-level filter until Build
+		// re-derives — the answers are exact either way.
+		switch {
+		case e.opts.AutoCascade:
+			if len(levels) > 1 {
+				e.cascade = levels
+			}
+			e.plan = &cascadeplan.Plan{Levels: planLevels, ID: planID}
+			e.metrics.planActive(planLevels, planID)
+		case len(e.opts.Hierarchy) > 1 && hierarchyMatches(levels, e.opts.Hierarchy):
+			e.cascade = levels
+		}
+	}
 	return e, nil
+}
+
+// restoreCascadeSection validates a persisted cascade section and
+// materializes its levels. A CRC-valid but semantically damaged
+// section must fail the load, never reach a filter: every level is
+// re-validated structurally, the finest level must be byte-identical
+// to the engine reduction, successive levels must be strictly coarser
+// AND nested (same-group-stays-same-group — the property the
+// lower-bound proof rests on), and a persisted plan must fingerprint
+// to its own levels. When the section carries no explicit plan (a
+// Hierarchy-configured engine wrote it), the plan is synthesized from
+// the level dimensionalities so an AutoCascade reader starts from a
+// truthful incumbent.
+func restoreCascadeSection(cs *persist.CascadeSection, engRed *core.Reduction, dim int) ([]*core.Reduction, []int, uint64, error) {
+	if len(cs.Levels) == 0 && len(cs.PlanLevels) == 0 {
+		return nil, nil, 0, fmt.Errorf("section carries neither levels nor a plan")
+	}
+	if engRed == nil {
+		return nil, nil, 0, fmt.Errorf("cascade without an engine reduction")
+	}
+	var levels []*core.Reduction
+	if n := len(cs.Levels); n > 0 {
+		if n < 2 {
+			return nil, nil, 0, fmt.Errorf("cascade of %d level", n)
+		}
+		levels = make([]*core.Reduction, n)
+		for i, rr := range cs.Levels {
+			red, err := core.NewReduction(rr.Assign, rr.Reduced)
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("level %d: %v", i, err)
+			}
+			if red.OriginalDims() != dim {
+				return nil, nil, 0, fmt.Errorf("level %d covers %d dimensions, want %d", i, red.OriginalDims(), dim)
+			}
+			levels[i] = red
+		}
+		if levels[0].ReducedDims() != engRed.ReducedDims() || !equalLevels(levels[0].Assignment(), engRed.Assignment()) {
+			return nil, nil, 0, fmt.Errorf("finest cascade level disagrees with the engine reduction")
+		}
+		for i := 1; i < n; i++ {
+			fine, coarse := levels[i-1], levels[i]
+			if coarse.ReducedDims() >= fine.ReducedDims() {
+				return nil, nil, 0, fmt.Errorf("level %d has d'=%d, not coarser than level %d (d'=%d)",
+					i, coarse.ReducedDims(), i-1, fine.ReducedDims())
+			}
+			// Nesting: two original bins merged by the finer level must
+			// be merged by the coarser one too, i.e. the coarse group is
+			// a function of the fine group.
+			fa, ca := fine.Assignment(), coarse.Assignment()
+			group := make([]int, fine.ReducedDims())
+			for g := range group {
+				group[g] = -1
+			}
+			for b := range fa {
+				if group[fa[b]] == -1 {
+					group[fa[b]] = ca[b]
+				} else if group[fa[b]] != ca[b] {
+					return nil, nil, 0, fmt.Errorf("level %d is not a nested coarsening of level %d", i, i-1)
+				}
+			}
+		}
+	}
+	planLevels := append([]int(nil), cs.PlanLevels...)
+	planID := cs.PlanID
+	if len(planLevels) > 0 {
+		if err := cascadeplan.ValidateLevels(planLevels, dim); err != nil {
+			return nil, nil, 0, fmt.Errorf("plan: %v", err)
+		}
+		if want := cascadeplan.PlanID(planLevels); planID != want {
+			return nil, nil, 0, fmt.Errorf("plan fingerprint %016x does not match its levels (%016x)", planID, want)
+		}
+		want := []int{engRed.ReducedDims()}
+		if levels != nil {
+			want = make([]int, len(levels))
+			for i, red := range levels {
+				want[len(levels)-1-i] = red.ReducedDims()
+			}
+		}
+		if !equalLevels(planLevels, want) {
+			return nil, nil, 0, fmt.Errorf("plan levels %v disagree with the persisted chain %v", planLevels, want)
+		}
+	} else {
+		planLevels = make([]int, len(levels))
+		for i, red := range levels {
+			planLevels[len(levels)-1-i] = red.ReducedDims()
+		}
+		planID = cascadeplan.PlanID(planLevels)
+	}
+	return levels, planLevels, planID, nil
+}
+
+// hierarchyMatches reports whether restored cascade levels carry
+// exactly the configured Hierarchy dimensionalities (both finest
+// first).
+func hierarchyMatches(levels []*core.Reduction, hierarchy []int) bool {
+	if len(levels) != len(hierarchy) {
+		return false
+	}
+	for i, red := range levels {
+		if red.ReducedDims() != hierarchy[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // restoreIndexSection validates and materializes a persisted metric
