@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine|filter|persist|index|cascade] [-scale full|medium|quick] [-csv] [-seed N]
+//	emdbench [-exp all|fig13..fig25|tab1..tab3|serve|refine|filter|persist|index|cascade|shard] [-scale full|medium|quick] [-csv] [-seed N]
 //	         [-dprime D] [-workers N] [-concurrency N] [-timeout D] [-wal FILE] [-out FILE]
 //
 // The full scale approximates the paper's corpus sizes and can take
@@ -45,6 +45,12 @@
 // the answers stay bit-identical across plans, reports exact
 // refinements per query and the end-to-end speedup, and (with -out)
 // writes a JSON report.
+//
+// -exp shard benchmarks fault-tolerant scatter-gather serving: one
+// fixed corpus queried through ShardSets of increasing width, every
+// healthy answer verified bit-identical to the single-engine
+// reference, then re-queried with one shard hard-failing to measure
+// certified partial answers. With -out it writes a JSON report.
 //
 // -exp persist benchmarks the durability layer: atomic snapshot
 // save/load, fsynced write-ahead-log append throughput, checkpoint
@@ -101,6 +107,28 @@ func main() {
 		maxQueue  = flag.Int("maxqueue", 0, "serve mode: gate wait-queue bound (0 = 2x maxconcurrent)")
 	)
 	flag.Parse()
+
+	if *expFlag == "shard" {
+		sc := shardConfig{n: 300, d: 32, queries: 20, k: 10, shards: []int{1, 2, 4}, seed: *seedFlag, out: *outFlag}
+		if sc.seed == 0 {
+			sc.seed = 42
+		}
+		switch *scaleFlag {
+		case "full":
+			sc.n, sc.d, sc.shards = 2000, 64, []int{1, 2, 4, 8}
+		case "medium":
+			sc.n, sc.d = 800, 48
+		case "quick":
+		default:
+			fmt.Fprintf(os.Stderr, "emdbench: unknown scale %q (want full, medium or quick)\n", *scaleFlag)
+			os.Exit(2)
+		}
+		if err := runShard(sc); err != nil {
+			fmt.Fprintf(os.Stderr, "emdbench: shard: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *expFlag == "persist" {
 		pc := persistConfig{n: 300, d: 32, seed: *seedFlag, out: *outFlag}

@@ -43,24 +43,10 @@ type serveConfig struct {
 	out string
 }
 
-// reopenWALBackoff heals a broken write-ahead log with capped
-// exponential backoff: ReopenWAL retries at 1ms, 2ms, 4ms ... capped
-// at 256ms, for up to attempts tries. It returns nil as soon as one
-// reopen succeeds, otherwise the last error.
+// reopenWALBackoff heals a broken write-ahead log via the engine's
+// jittered capped-exponential retry loop.
 func reopenWALBackoff(eng *emdsearch.Engine, attempts int) error {
-	delay := time.Millisecond
-	var err error
-	for i := 0; i < attempts; i++ {
-		if err = eng.ReopenWAL(); err == nil {
-			return nil
-		}
-		time.Sleep(delay)
-		delay *= 2
-		if delay > 256*time.Millisecond {
-			delay = 256 * time.Millisecond
-		}
-	}
-	return err
+	return eng.ReopenWALRetry(context.Background(), attempts)
 }
 
 // runServe benchmarks the engine as a concurrent query server: it

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"emdsearch/internal/data"
+
+	emdsearch "emdsearch"
+)
+
+// testServer builds a small sharded corpus behind the HTTP handler,
+// optionally with a fault-injection hook, and returns it with a set of
+// held-out query vectors.
+func testServer(t *testing.T, hook func(ctx context.Context, shard, try int, op string) error) (*httptest.Server, *emdsearch.ShardSet, []emdsearch.Histogram) {
+	t.Helper()
+	ds, err := data.MusicSpectra(45, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs, queries, err := ds.Split(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := emdsearch.NewShardSet(ds.Cost,
+		emdsearch.Options{ReducedDims: 4, Seed: 1},
+		emdsearch.ShardSetOptions{Shards: 3, ShardHook: hook, QuarantineAfter: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range vecs {
+		if _, err := set.Add(ds.Items[i].Label, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer((&server{set: set, timeout: time.Second}).handler())
+	t.Cleanup(ts.Close)
+	return ts, set, queries
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeKNN(t *testing.T) {
+	ts, set, queries := testServer(t, nil)
+
+	resp := postJSON(t, ts.URL+"/knn", knnRequest{Q: queries[0], K: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var ans emdsearch.ShardAnswer
+	decodeBody(t, resp, &ans)
+	if ans.Degraded || len(ans.Results) != 4 {
+		t.Fatalf("answer = %+v", ans)
+	}
+	want, err := set.KNN(context.Background(), queries[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ans.Results {
+		if r.Index != want.Results[i].Index || r.Dist != want.Results[i].Dist {
+			t.Fatalf("pos %d: HTTP %+v, direct %+v", i, r, want.Results[i])
+		}
+	}
+	if ans.Coverage.ShardsOK != 3 || ans.Coverage.ItemsUncovered != 0 {
+		t.Fatalf("coverage = %+v", ans.Coverage)
+	}
+
+	// Malformed queries map to 400.
+	resp = postJSON(t, ts.URL+"/knn", knnRequest{Q: queries[0][:3], K: 4})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-dim status %d, want 400", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/knn", knnRequest{Q: queries[0], K: 0})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("k=0 status %d, want 400", resp.StatusCode)
+	}
+	// GET is not a query.
+	getResp, err := http.Get(ts.URL + "/knn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /knn status %d, want 405", getResp.StatusCode)
+	}
+}
+
+func TestServeRange(t *testing.T) {
+	ts, set, queries := testServer(t, nil)
+	probe, err := set.KNN(context.Background(), queries[1], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := probe.Results[len(probe.Results)-1].Dist
+	resp := postJSON(t, ts.URL+"/range", rangeRequest{Q: queries[1], Eps: eps})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var ans emdsearch.ShardRangeAnswer
+	decodeBody(t, resp, &ans)
+	if ans.Degraded || len(ans.Results) == 0 {
+		t.Fatalf("answer = %+v", ans)
+	}
+	for _, r := range ans.Results {
+		if r.Dist > eps {
+			t.Fatalf("result %+v beyond eps %v", r, eps)
+		}
+	}
+}
+
+func TestServeDegradedAndHealth(t *testing.T) {
+	hook := func(ctx context.Context, shard, try int, op string) error {
+		if shard == 1 {
+			return errors.New("injected shard outage")
+		}
+		return nil
+	}
+	ts, _, queries := testServer(t, hook)
+
+	resp := postJSON(t, ts.URL+"/knn", knnRequest{Q: queries[0], K: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial failure status %d, want 200 with Degraded body", resp.StatusCode)
+	}
+	var ans emdsearch.ShardAnswer
+	decodeBody(t, resp, &ans)
+	if !ans.Degraded || ans.Coverage.ShardsFailed != 1 || ans.Coverage.ItemsUncovered == 0 {
+		t.Fatalf("degraded answer = %+v", ans.Coverage)
+	}
+	if len(ans.Anytime) == 0 {
+		t.Fatal("degraded answer lost its interval view over JSON")
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health healthzResponse
+	decodeBody(t, hresp, &health)
+	if hresp.StatusCode != http.StatusOK || health.Status != "ok" || len(health.Shards) != 3 {
+		t.Fatalf("healthz = %d %+v", hresp.StatusCode, health)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m emdsearch.ShardSetMetrics
+	decodeBody(t, mresp, &m)
+	if m.Queries < 1 || m.ShardFailures < 1 || len(m.PerShard) != 3 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestServeAllShardsDown(t *testing.T) {
+	hook := func(ctx context.Context, shard, try int, op string) error {
+		return errors.New("injected total outage")
+	}
+	ts, _, queries := testServer(t, hook)
+	resp := postJSON(t, ts.URL+"/knn", knnRequest{Q: queries[0], K: 4})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("total outage status %d, want 503", resp.StatusCode)
+	}
+	var body struct {
+		Error  string                 `json:"error"`
+		Answer *emdsearch.ShardAnswer `json:"answer"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error == "" || body.Answer == nil || body.Answer.Coverage.ShardsFailed != 3 {
+		t.Fatalf("503 body = %+v", body)
+	}
+}

@@ -68,7 +68,7 @@ func (e *Engine) KNNCtx(ctx context.Context, q Histogram, k int) (*KNNAnswer, er
 		e.metrics.queryError()
 		return nil, err
 	}
-	return e.knnCtxOnSnap(ctx, s, q, k, nil)
+	return e.knnCtxOnSnap(ctx, s, q, k, nil, nil, nil)
 }
 
 // KNNWhereCtx is the context-aware form of KNNWhere: a k-NN query
@@ -90,7 +90,7 @@ func (e *Engine) KNNWhereCtx(ctx context.Context, q Histogram, k int, pred func(
 		e.metrics.queryError()
 		return nil, err
 	}
-	return e.knnCtxOnSnap(ctx, s, q, k, pred)
+	return e.knnCtxOnSnap(ctx, s, q, k, pred, nil, nil)
 }
 
 // KNNWithLabelCtx is KNNWhereCtx restricted to items carrying the
@@ -108,13 +108,15 @@ func (e *Engine) KNNWithLabelCtx(ctx context.Context, q Histogram, k int, label 
 		e.metrics.queryError()
 		return nil, err
 	}
-	return e.knnCtxOnSnap(ctx, s, q, k, func(i int) bool { return s.labels[i] == label })
+	return e.knnCtxOnSnap(ctx, s, q, k, func(i int) bool { return s.labels[i] == label }, nil, nil)
 }
 
 // knnCtxOnSnap runs the shared context-aware k-NN path on an already
 // obtained snapshot (so label predicates close over the same state the
 // query runs on) and assembles the anytime answer on cancellation.
-func (e *Engine) knnCtxOnSnap(ctx context.Context, s *snapshot, q Histogram, k int, pred func(index int) bool) (*KNNAnswer, error) {
+// shared, when non-nil, joins the search to a cross-shard neighbor
+// set under the toGlobal id mapping (the ShardSet scatter path).
+func (e *Engine) knnCtxOnSnap(ctx context.Context, s *snapshot, q Histogram, k int, pred func(index int) bool, shared *search.SharedKNN, toGlobal func(int) int) (*KNNAnswer, error) {
 	if err := ctx.Err(); err != nil {
 		// Already expired: nothing was examined; the (empty) answer is
 		// still sound and says so.
@@ -125,9 +127,12 @@ func (e *Engine) knnCtxOnSnap(ctx context.Context, s *snapshot, q Histogram, k i
 	}
 	var out *search.KNNOutcome
 	var err error
-	if pred == nil {
+	switch {
+	case shared != nil:
+		out, err = s.searcher.KNNSharedCtx(ctx, q, k, shared, toGlobal, pred)
+	case pred == nil:
 		out, err = s.searcher.KNNCtx(ctx, q, k)
-	} else {
+	default:
 		out, err = s.searcher.KNNWhereCtx(ctx, q, k, pred)
 	}
 	if err != nil {

@@ -1,0 +1,45 @@
+package emdsearch
+
+import (
+	"expvar"
+	"fmt"
+)
+
+// publishExpvar registers fn under name on the process-wide expvar
+// page, converting expvar.Publish's reuse panic into an error — the
+// registry is global and append-only, so a duplicate name is a caller
+// bug best reported, not a crash.
+func publishExpvar(name string, fn func() any) error {
+	if name == "" {
+		return fmt.Errorf("emdsearch: PublishExpvar: empty name")
+	}
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("emdsearch: PublishExpvar: %q is already published", name)
+	}
+	expvar.Publish(name, expvar.Func(fn))
+	return nil
+}
+
+// PublishExpvar exports the engine's Metrics as the expvar variable
+// `name`, rendered as JSON on /debug/vars by expvar's handler. The
+// registration is process-global and permanent (expvar has no
+// unpublish), so use one name per long-lived engine; a reused name is
+// reported as an error. The published function snapshots Metrics on
+// every read.
+func (e *Engine) PublishExpvar(name string) error {
+	return publishExpvar(name, func() any { return e.Metrics() })
+}
+
+// PublishExpvar exports the gate's admission metrics as the expvar
+// variable `name`. Same registry semantics as Engine.PublishExpvar.
+func (g *Gate) PublishExpvar(name string) error {
+	return publishExpvar(name, func() any { return g.Metrics() })
+}
+
+// PublishExpvar exports the shard set's scatter-gather metrics —
+// including every shard's engine, gate and health views — as the
+// expvar variable `name`. Same registry semantics as
+// Engine.PublishExpvar.
+func (s *ShardSet) PublishExpvar(name string) error {
+	return publishExpvar(name, func() any { return s.Metrics() })
+}

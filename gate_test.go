@@ -504,3 +504,106 @@ func TestGateShedsFast(t *testing.T) {
 		t.Fatalf("shed took %v, want < 1ms", lat)
 	}
 }
+
+// TestGateBatchKNNMixedOutcomes drives a batch through a gate sized
+// for exactly one running and one queued query, with slow refinements
+// and an aggressive degrade policy, so one batch mixes all three
+// per-query outcomes: served in full, served degraded, and shed with
+// ErrOverloaded. Each entry must resolve independently — no error or
+// partial answer may leak into a sibling's slot.
+func TestGateBatchKNNMixedOutcomes(t *testing.T) {
+	d := 8
+	rng := rand.New(rand.NewSource(31))
+	eng, err := NewEngine(LinearCost(d), Options{
+		ReducedDims: 2,
+		Seed:        1,
+		RefineHook:  func(int) { time.Sleep(2 * time.Millisecond) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := eng.Add(fmt.Sprintf("item-%d", i), randHist(rng, d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	gate := NewGate(eng, GateOptions{
+		MaxConcurrent: 1,
+		MaxQueue:      1,
+		DegradeAt:     0.01, // any queue occupancy degrades admitted queries
+		DegradeBudget: 4 * time.Millisecond,
+	})
+
+	const batch, k = 10, 3
+	queries := make([]Histogram, batch)
+	for i := range queries {
+		queries[i] = randHist(rng, d)
+	}
+	out, err := gate.BatchKNN(context.Background(), queries, k, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != batch {
+		t.Fatalf("%d entries for %d queries", len(out), batch)
+	}
+
+	ok, degraded, shed := 0, 0, 0
+	for i, r := range out {
+		if r.Query != i {
+			t.Fatalf("entry %d labeled query %d", i, r.Query)
+		}
+		switch {
+		case r.Err != nil:
+			if !errors.Is(r.Err, ErrOverloaded) {
+				t.Fatalf("entry %d failed with %v, want ErrOverloaded", i, r.Err)
+			}
+			if r.Answer != nil && len(r.Answer.Results) > 0 {
+				t.Fatalf("shed entry %d carries results: %+v", i, r.Answer)
+			}
+			shed++
+		case r.Answer.Degraded:
+			// A degraded answer is sound: every confirmed result is the
+			// exact distance for ITS OWN query — a cross-contaminated
+			// slot would fail this check.
+			for _, res := range r.Answer.Results {
+				exact := exactDist(t, eng, queries[i], res.Index)
+				if math.Float64bits(res.Dist) != math.Float64bits(exact) {
+					t.Fatalf("degraded entry %d: result %d dist %v, exact %v", i, res.Index, res.Dist, exact)
+				}
+			}
+			for _, it := range r.Answer.Anytime {
+				exact := exactDist(t, eng, queries[i], it.Index)
+				if it.Lower > exact || exact > it.Upper {
+					t.Fatalf("degraded entry %d: interval [%v, %v] excludes exact %v", i, it.Lower, it.Upper, exact)
+				}
+			}
+			degraded++
+		default:
+			// Full answers must be byte-identical to the engine's own.
+			want, _, err := eng.KNN(queries[i], k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Answer.Results) != len(want) {
+				t.Fatalf("entry %d: %d results, want %d", i, len(r.Answer.Results), len(want))
+			}
+			for j := range want {
+				if r.Answer.Results[j].Index != want[j].Index ||
+					math.Float64bits(r.Answer.Results[j].Dist) != math.Float64bits(want[j].Dist) {
+					t.Fatalf("entry %d pos %d: got %+v, want %+v", i, j, r.Answer.Results[j], want[j])
+				}
+			}
+			ok++
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("outcome mix ok=%d degraded=%d shed=%d: the gate sizing did not force a mix", ok, degraded, shed)
+	}
+	m := gate.Metrics()
+	if m.Shed < int64(shed) || m.Admitted < int64(ok) {
+		t.Fatalf("gate metrics %+v inconsistent with outcomes ok=%d shed=%d", m, ok, shed)
+	}
+}

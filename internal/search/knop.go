@@ -180,10 +180,43 @@ type knnConfig struct {
 	// never refined. It runs on the calling goroutine only, so
 	// predicates need not be goroutine-safe even on the parallel path.
 	pred func(index int) bool
+	// shared, when non-nil, joins this search to a cross-partition
+	// neighbor set: the loop prunes against min(local k-th, global
+	// k-th) and offers every confirmed exact distance under its global
+	// id. toGlobal maps local to global indices (nil = identity).
+	shared   *SharedKNN
+	toGlobal func(local int) int
 }
 
 func (cfg *knnConfig) cancelled() bool {
 	return cfg.cancel != nil && cfg.cancel.Load()
+}
+
+// tighten folds the shared global threshold, when present, into the
+// local one. The shared threshold is monotonically non-increasing and
+// always >= the final global k-th distance, so pruning against the
+// minimum of the two discards only items provably outside the final
+// answer — the same argument that makes the per-query parallel
+// threshold sound.
+func (cfg *knnConfig) tighten(threshold float64) float64 {
+	if cfg.shared != nil {
+		if t := cfg.shared.Threshold(); t < threshold {
+			threshold = t
+		}
+	}
+	return threshold
+}
+
+// offer publishes a confirmed exact distance to the shared set.
+func (cfg *knnConfig) offer(localIndex int, dist float64) {
+	if cfg.shared == nil {
+		return
+	}
+	gid := localIndex
+	if cfg.toGlobal != nil {
+		gid = cfg.toGlobal(localIndex)
+	}
+	cfg.shared.Offer(gid, dist)
 }
 
 // knnBoundedCore is the sequential KNOP loop shared by KNNBounded and
@@ -226,11 +259,13 @@ func knnBoundedCore(ranking Ranking, refine BoundedRefine, k int, cfg knnConfig)
 		threshold := math.Inf(1)
 		if len(neighbors) == k {
 			threshold = neighbors[k-1].Dist
-			if c.Dist > threshold {
-				// Lower-bounding filter: every remaining item is at
-				// least this far away.
-				break
-			}
+		}
+		threshold = cfg.tighten(threshold)
+		if c.Dist > threshold {
+			// Lower-bounding filter: every remaining item is at least
+			// this far away (from the local k-th, or from the global
+			// k-th another partition already confirmed).
+			break
 		}
 		if cfg.pred != nil && !cfg.pred(c.Index) {
 			continue
@@ -252,6 +287,7 @@ func knnBoundedCore(ranking Ranking, refine BoundedRefine, k int, cfg knnConfig)
 			continue
 		}
 		d := r.Dist
+		cfg.offer(c.Index, d)
 		if len(neighbors) < k || d < neighbors[k-1].Dist ||
 			(d == neighbors[k-1].Dist && c.Index < neighbors[k-1].Index) {
 			insert(Result{Index: c.Index, Dist: d})

@@ -178,7 +178,7 @@ func parallelKNNBoundedCore(ranking Ranking, refine BoundedRefine, k, workers in
 					pending.add(PendingCandidate{Index: c.Index, Lower: c.Dist})
 					continue
 				}
-				ab := threshold.Load()
+				ab := cfg.tighten(threshold.Load())
 				if c.Dist > ab {
 					atomic.AddInt64(&counters.skipped, 1)
 					continue
@@ -197,6 +197,7 @@ func parallelKNNBoundedCore(ranking Ranking, refine BoundedRefine, k, workers in
 				if r.Aborted {
 					continue
 				}
+				cfg.offer(c.Index, r.Dist)
 				neighbors.insert(Result{Index: c.Index, Dist: r.Dist})
 			}
 		}()
@@ -216,7 +217,7 @@ func parallelKNNBoundedCore(ranking Ranking, refine BoundedRefine, k, workers in
 			break
 		}
 		stats.Pulled++
-		if c.Dist > threshold.Load() {
+		if c.Dist > cfg.tighten(threshold.Load()) {
 			// Lower-bounding filter in ascending order: every
 			// remaining item is at least this far away, and the
 			// threshold only tightens.

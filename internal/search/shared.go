@@ -1,0 +1,137 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"emdsearch/internal/emd"
+)
+
+// SharedKNN is a k-nearest-neighbor result set shared by several
+// concurrent searches over disjoint partitions of one logical database
+// — the cross-shard generalization of the per-query threshold the
+// parallel KNOP path already uses. Each partition's search offers its
+// confirmed exact distances (keyed by GLOBAL item id) and reads back
+// the global k-th best distance as an extra pruning threshold.
+//
+// Soundness is the same monotonicity argument as the single-engine
+// parallel path: the published threshold is the k-th best distance of
+// items confirmed SO FAR, so it is always >= the final global k-th
+// distance and only ever tightens. A shard that stops pulling when its
+// filter lower bound strictly exceeds the threshold, or aborts a
+// refinement on a certified bound strictly above it, discards only
+// items provably outside the final global top-k; ties are refined, so
+// the merged answer — including its deterministic (Dist, Index)
+// tie-break — is exactly the single-engine answer over the union.
+//
+// Safe for concurrent use by any number of searches.
+type SharedKNN struct {
+	k         int
+	threshold *atomicThreshold
+
+	mu      sync.Mutex
+	results []Result // global ids, (Dist, Index)-sorted, len <= k
+}
+
+// NewSharedKNN builds a shared set for a k-NN query.
+func NewSharedKNN(k int) (*SharedKNN, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("search: k = %d, want >= 1", k)
+	}
+	return &SharedKNN{k: k, threshold: newAtomicThreshold()}, nil
+}
+
+// Threshold returns the current global k-th best confirmed distance,
+// +Inf until k items have been offered. Monotonically non-increasing.
+func (g *SharedKNN) Threshold() float64 { return g.threshold.Load() }
+
+// Offer records a confirmed exact distance for the item with the given
+// global id. Infinite distances (deleted items on some shard) are
+// ignored — they can never enter the answer and must not loosen the
+// set.
+func (g *SharedKNN) Offer(globalIndex int, dist float64) {
+	if math.IsInf(dist, 1) {
+		return
+	}
+	g.mu.Lock()
+	pos := sort.Search(len(g.results), func(i int) bool {
+		if g.results[i].Dist != dist {
+			return g.results[i].Dist > dist
+		}
+		return g.results[i].Index > globalIndex
+	})
+	g.results = append(g.results, Result{})
+	copy(g.results[pos+1:], g.results[pos:])
+	g.results[pos] = Result{Index: globalIndex, Dist: dist}
+	if len(g.results) > g.k {
+		g.results = g.results[:g.k]
+	}
+	if len(g.results) == g.k {
+		g.threshold.Store(g.results[g.k-1].Dist)
+	}
+	g.mu.Unlock()
+}
+
+// Results returns a copy of the current global top-k (global ids,
+// sorted by (Dist, Index)). After every participating search has
+// completed this IS the exact k-NN answer over the union of
+// partitions.
+func (g *SharedKNN) Results() []Result {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Result, len(g.results))
+	copy(out, g.results)
+	return out
+}
+
+// KNNSharedCtx is KNNCtx participating in a cross-partition shared
+// neighbor set: the KNOP loop prunes against min(local k-th, global
+// k-th) and offers every confirmed exact distance to shared under its
+// global id (toGlobal maps this searcher's local indices; nil is the
+// identity). pred, when non-nil, restricts candidates exactly as in
+// KNNWhereCtx.
+//
+// The outcome's Results carry LOCAL indices — they are this
+// partition's local top-k, which the caller merges (or reads straight
+// off shared.Results() once every partition finished).
+func (s *Searcher) KNNSharedCtx(ctx context.Context, q emd.Histogram, k int, shared *SharedKNN, toGlobal func(local int) int, pred func(index int) bool) (*KNNOutcome, error) {
+	if s.Refine == nil && s.RefineBounded == nil {
+		return nil, errNoRefine()
+	}
+	if shared == nil {
+		return nil, fmt.Errorf("search: KNNSharedCtx requires a shared set")
+	}
+	if shared.k != k {
+		return nil, fmt.Errorf("search: shared set built for k = %d, query asks k = %d", shared.k, k)
+	}
+	start := time.Now()
+	ranking, probes, err := s.buildRanking(q, IndexHint{Kind: IndexKNN, K: k})
+	if err != nil {
+		return nil, err
+	}
+	cancel, stopWatch := WatchContext(ctx)
+	defer stopWatch()
+	cfg := knnConfig{cancel: cancel, pred: pred, shared: shared, toGlobal: toGlobal}
+
+	refineTime := new(atomicDuration)
+	refine := s.timedBoundedRefineIntr(q, refineTime.Add, cancel)
+	var out KNNOutcome
+	if s.Workers > 1 {
+		out.Results, out.Pending, out.Stats, err = parallelKNNBoundedCore(ranking, refine, k, s.Workers, cfg)
+	} else {
+		out.Results, out.Pending, out.Stats, err = knnBoundedCore(ranking, refine, k, cfg)
+		if err == nil {
+			out.Stats.Workers = 1
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Stats.RefineTime = refineTime.Load()
+	finishStats(out.Stats, probes, time.Since(start))
+	return &out, nil
+}

@@ -1,0 +1,112 @@
+package shardset
+
+import (
+	"sync"
+	"time"
+
+	"emdsearch/internal/admission"
+)
+
+// Health tracks one shard's availability with a consecutive-failure
+// quarantine: hard failures (errors, panics, exhausted retries) feed
+// Fault, and after `threshold` consecutive faults the shard is
+// quarantined — Allow reports false and the scatter layer skips the
+// shard instead of burning its deadline budget on it. After the
+// cooldown a single probe query is re-admitted; its success lifts the
+// quarantine, its failure re-arms it for another cooldown. The state
+// machine is admission.Breaker's — this type adds shard-level
+// accounting on top.
+//
+// Deadline-degraded answers are deliberately NOT faults: a slow shard
+// that still returns certified partial answers is serving, and
+// quarantining it would discard sound coverage. Only a shard that
+// returns nothing (error, panic, timeout of every retry) counts
+// against the threshold.
+//
+// Safe for concurrent use.
+type Health struct {
+	brk *admission.Breaker
+
+	mu        sync.Mutex
+	successes int64
+	failures  int64
+	skips     int64 // dispatches suppressed while quarantined
+	lastErr   error
+	lastFault time.Time
+}
+
+// NewHealth builds a tracker that quarantines after `threshold`
+// consecutive failures (min 1) and probes again after `cooldown`
+// (min 1ms).
+func NewHealth(threshold int, cooldown time.Duration) *Health {
+	return &Health{brk: admission.NewBreaker(threshold, cooldown)}
+}
+
+// Allow reports whether the shard may be dispatched to. While
+// quarantined it returns false until the cooldown elapses, then
+// admits exactly one probe.
+func (h *Health) Allow() bool {
+	ok := h.brk.Allow()
+	if !ok {
+		h.mu.Lock()
+		h.skips++
+		h.mu.Unlock()
+	}
+	return ok
+}
+
+// Success records a served dispatch (full or certified-degraded).
+func (h *Health) Success() {
+	h.brk.Success()
+	h.mu.Lock()
+	h.successes++
+	h.mu.Unlock()
+}
+
+// Fault records a hard failure with its error.
+func (h *Health) Fault(err error) {
+	h.brk.Fault()
+	h.mu.Lock()
+	h.failures++
+	h.lastErr = err
+	h.lastFault = time.Now()
+	h.mu.Unlock()
+}
+
+// Quarantined reports whether the shard is currently held out of
+// dispatch (the breaker reads open; a just-cooled quarantine still
+// reports true until the next Allow admits its probe).
+func (h *Health) Quarantined() bool { return h.brk.State() == admission.BreakerOpen }
+
+// State returns the quarantine state string: "closed" (healthy),
+// "open" (quarantined) or "half-open" (probing re-admission).
+func (h *Health) State() string { return h.brk.State().String() }
+
+// Stats is a point-in-time copy of the tracker's counters.
+type Stats struct {
+	State       string    `json:"state"`
+	Successes   int64     `json:"successes"`
+	Failures    int64     `json:"failures"`
+	Skips       int64     `json:"skips"`
+	Quarantines int64     `json:"quarantines"`
+	LastError   string    `json:"last_error,omitempty"`
+	LastFault   time.Time `json:"last_fault,omitempty"`
+}
+
+// Stats snapshots the tracker.
+func (h *Health) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := Stats{
+		State:       h.brk.State().String(),
+		Successes:   h.successes,
+		Failures:    h.failures,
+		Skips:       h.skips,
+		Quarantines: h.brk.Trips(),
+		LastFault:   h.lastFault,
+	}
+	if h.lastErr != nil {
+		st.LastError = h.lastErr.Error()
+	}
+	return st
+}

@@ -1,0 +1,248 @@
+package shardset
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrQuarantined marks a dispatch suppressed because the shard's
+// health tracker holds it in quarantine; no attempt was made.
+var ErrQuarantined = errors.New("shardset: shard quarantined")
+
+// PanicError reports a panic recovered from a shard call. The scatter
+// executor converts it into an ordinary per-shard failure so one
+// panicking shard can never take down the query, the process, or the
+// other shards' answers.
+type PanicError struct {
+	Shard int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("shardset: shard %d panicked: %v", e.Shard, e.Value)
+}
+
+// Config is the scatter executor's per-query policy.
+type Config struct {
+	// MaxAttempts bounds the dispatch attempts per shard, counting the
+	// first try and any hedges; < 1 defaults to 2 (one retry or one
+	// hedge).
+	MaxAttempts int
+	// Backoff paces retries; nil uses a default jittered 1ms..250ms
+	// schedule.
+	Backoff *Backoff
+	// HedgeAfter, when > 0, re-dispatches a shard that has not
+	// answered after this delay and takes whichever attempt finishes
+	// first. The straggler keeps running under a cancelled context
+	// (cooperative engines stop within microseconds) and its result is
+	// discarded. Hedges consume MaxAttempts.
+	HedgeAfter time.Duration
+	// Retryable classifies an attempt error: retry reports whether a
+	// fresh attempt is worthwhile (transient overload, not a bad
+	// query), and after is a server-supplied floor for the backoff
+	// delay (e.g. ErrOverloaded's RetryAfter). nil never retries.
+	Retryable func(err error) (retry bool, after time.Duration)
+	// Faulty reports whether an error should count against the shard's
+	// health (quarantine threshold). nil counts every error. Shedding
+	// under load, for example, is backpressure — not shard death — and
+	// ought not to quarantine.
+	Faulty func(err error) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 2
+	}
+	if c.Backoff == nil {
+		c.Backoff = &Backoff{}
+	}
+	return c
+}
+
+// Outcome is one shard's final disposition for one scatter.
+type Outcome[T any] struct {
+	Shard int
+	// Value is the shard's answer when Err is nil.
+	Value T
+	// Err is the last attempt's error; nil on success. ErrQuarantined
+	// when the dispatch was suppressed without an attempt.
+	Err error
+	// Tries counts dispatch attempts actually launched, including
+	// hedges; 0 when quarantined.
+	Tries int
+	// Retries counts backoff-paced re-attempts after a retryable
+	// error.
+	Retries int
+	// Hedged reports a hedge was launched; HedgeWon that the hedge,
+	// not the primary, produced the accepted result.
+	Hedged, HedgeWon bool
+	// Skipped reports the quarantine suppressed the dispatch.
+	Skipped bool
+}
+
+// Scatter dispatches call to shards 0..n-1 concurrently and gathers
+// every outcome. Each shard runs its own attempt loop: quarantine
+// check, panic-contained call, retry with jittered backoff on
+// retryable errors (within ctx's budget), and optional hedged
+// re-dispatch of stragglers. Scatter returns when every shard's loop
+// has resolved; with a ctx deadline each loop resolves no later than
+// the deadline plus one cooperative-cancellation latency, so the
+// gather cannot block unboundedly on a dead shard.
+//
+// health may be nil (no quarantine tracking) or hold one tracker per
+// shard.
+func Scatter[T any](ctx context.Context, n int, health []*Health, cfg Config, call func(ctx context.Context, shard, try int) (T, error)) []Outcome[T] {
+	cfg = cfg.withDefaults()
+	out := make([]Outcome[T], n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var h *Health
+			if health != nil {
+				h = health[s]
+			}
+			out[s] = runShard(ctx, s, h, cfg, call)
+		}(s)
+	}
+	wg.Wait()
+	return out
+}
+
+// runShard is one shard's attempt loop.
+func runShard[T any](ctx context.Context, shard int, h *Health, cfg Config, call func(ctx context.Context, shard, try int) (T, error)) Outcome[T] {
+	out := Outcome[T]{Shard: shard}
+	if h != nil && !h.Allow() {
+		out.Skipped = true
+		out.Err = ErrQuarantined
+		return out
+	}
+	try := 0
+	for {
+		v, err := hedgedAttempt(ctx, shard, &try, cfg, call, &out)
+		if err == nil {
+			if h != nil {
+				h.Success()
+			}
+			out.Value = v
+			out.Err = nil
+			return out
+		}
+		out.Err = err
+		if cfg.Retryable != nil && try < cfg.MaxAttempts && ctx.Err() == nil {
+			if retry, after := cfg.Retryable(err); retry {
+				if cfg.Backoff.Sleep(ctx, out.Retries, after) {
+					out.Retries++
+					continue
+				}
+			}
+		}
+		if h != nil && (cfg.Faulty == nil || cfg.Faulty(err)) {
+			h.Fault(err)
+		}
+		return out
+	}
+}
+
+// hedgedAttempt launches one attempt and, when configured and the
+// attempt budget allows, a single hedge after HedgeAfter; the first
+// success wins and the loser's context is cancelled. With no success,
+// it returns after all launched attempts finish (each is bounded by
+// ctx). Panics in call are contained to a PanicError.
+func hedgedAttempt[T any](ctx context.Context, shard int, try *int, cfg Config, call func(ctx context.Context, shard, try int) (T, error), out *Outcome[T]) (T, error) {
+	type res struct {
+		v   T
+		err error
+		try int
+	}
+	primary := *try
+	*try++
+	out.Tries++
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	ch := make(chan res, 2) // buffered: a losing straggler never blocks
+	launch := func(t int) {
+		go func() {
+			v, err := safeCall(actx, shard, t, call)
+			ch <- res{v, err, t}
+		}()
+	}
+	launch(primary)
+	inflight := 1
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if cfg.HedgeAfter > 0 && *try < cfg.MaxAttempts {
+		hedgeTimer = time.NewTimer(cfg.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if r.try != primary {
+					out.HedgeWon = true
+				}
+				return r.v, nil
+			}
+			lastErr = r.err
+			if inflight == 0 {
+				var zero T
+				return zero, lastErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hedge := *try
+			*try++
+			out.Tries++
+			out.Hedged = true
+			launch(hedge)
+			inflight++
+		}
+	}
+}
+
+// safeCall invokes call with panic containment.
+func safeCall[T any](ctx context.Context, shard, try int, call func(ctx context.Context, shard, try int) (T, error)) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Shard: shard, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return call(ctx, shard, try)
+}
+
+// CarveBudget derives the per-shard query context from the caller's:
+// with a caller deadline, the shard budget ends `reserve` before it so
+// the gather and merge finish inside the caller's deadline (but never
+// less than half the remaining time, so a tight deadline still reaches
+// the shards); shardTimeout, when > 0, additionally caps any single
+// scatter — the defense against a hung shard when the caller gave no
+// deadline at all.
+func CarveBudget(ctx context.Context, reserve, shardTimeout time.Duration) (context.Context, context.CancelFunc) {
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		budget := remaining - reserve
+		if budget < remaining/2 {
+			budget = remaining / 2
+		}
+		if shardTimeout > 0 && budget > shardTimeout {
+			budget = shardTimeout
+		}
+		return context.WithTimeout(ctx, budget)
+	}
+	if shardTimeout > 0 {
+		return context.WithTimeout(ctx, shardTimeout)
+	}
+	return context.WithCancel(ctx)
+}

@@ -22,11 +22,9 @@ type StageMetrics struct {
 // performed: query counts by kind, candidate/refinement totals,
 // cumulative per-stage filter effort and stage-level wall times. All
 // fields are totals since engine creation. The struct is plain data
-// and JSON-marshalable, so it drops straight into expvar:
-//
-//	expvar.Publish("emdsearch", expvar.Func(func() any {
-//	    return eng.Metrics()
-//	}))
+// and JSON-marshalable; Engine.PublishExpvar exports it live on the
+// process's expvar page (Gate.PublishExpvar and
+// ShardSet.PublishExpvar do the same for their layers).
 type Metrics struct {
 	// KNNQueries, RangeQueries and RankQueries count successfully
 	// served queries by kind (BatchKNN contributes to KNNQueries, one

@@ -3,12 +3,14 @@ package emdsearch
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"emdsearch/internal/cascadeplan"
 	"emdsearch/internal/colscan"
@@ -16,6 +18,7 @@ import (
 	"emdsearch/internal/db"
 	"emdsearch/internal/mtree"
 	"emdsearch/internal/persist"
+	"emdsearch/internal/shardset"
 	"emdsearch/internal/vptree"
 )
 
@@ -603,6 +606,33 @@ func (e *Engine) ReopenWAL() error {
 	}
 	e.wal = w
 	return nil
+}
+
+// ReopenWALRetry is ReopenWAL under a jittered capped exponential
+// backoff: up to attempts tries (<= 0 defaults to 10), sleeping a
+// uniformly jittered delay drawn from the 1ms, 2ms, 4ms ... schedule
+// capped at 256ms between them. The jitter desynchronizes many
+// processes healing a shared disk fault at once. It returns nil as
+// soon as one reopen succeeds, ctx.Err() if the context ends first,
+// and otherwise the last reopen error.
+func (e *Engine) ReopenWALRetry(ctx context.Context, attempts int) error {
+	if attempts <= 0 {
+		attempts = 10
+	}
+	b := &shardset.Backoff{Base: time.Millisecond, Cap: 256 * time.Millisecond}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = e.ReopenWAL(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break // no point sleeping after the final failure
+		}
+		if !b.Sleep(ctx, i, 0) {
+			return fmt.Errorf("emdsearch: ReopenWALRetry: %w (last reopen error: %v)", ctx.Err(), err)
+		}
+	}
+	return err
 }
 
 // CloseWAL detaches and closes the engine's write-ahead log. Further

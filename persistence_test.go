@@ -2,6 +2,7 @@ package emdsearch
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"emdsearch/internal/core"
 	"emdsearch/internal/db"
@@ -830,5 +832,54 @@ func TestLoadRejectsBadQuantSection(t *testing.T) {
 				t.Fatalf("err = %v, want ErrCorrupt", err)
 			}
 		})
+	}
+}
+
+// TestReopenWALRetryBounds pins the retry loop's timing: attempts-1
+// jittered sleeps drawn from the 1ms, 2ms, 4ms ... schedule, each at
+// least half its nominal delay (the jitter floor), none after the
+// final failure, and an early return the moment the context ends.
+func TestReopenWALRetryBounds(t *testing.T) {
+	eng, err := NewEngine(LinearCost(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No WAL attached: every reopen fails instantly, so elapsed time
+	// is the sleeps alone. attempts=4 sleeps ~1ms+2ms+4ms nominal,
+	// floored at half by the jitter.
+	start := time.Now()
+	err = eng.ReopenWALRetry(context.Background(), 4)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("ReopenWALRetry succeeded with no WAL attached")
+	}
+	if min := 3500 * time.Microsecond; elapsed < min {
+		t.Fatalf("4 attempts took %v, below the %v jitter floor", elapsed, min)
+	}
+	if max := 2 * time.Second; elapsed > max {
+		t.Fatalf("4 attempts took %v; the schedule is 1+2+4ms nominal", elapsed)
+	}
+
+	// Context expiry interrupts the backoff sleep.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	err = eng.ReopenWALRetry(ctx, 1000)
+	elapsed = time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancelled retry loop ran %v past a 10ms deadline", elapsed)
+	}
+
+	// A healthy WAL heals on the first try: no sleeps.
+	dir := t.TempDir()
+	if err := eng.OpenWAL(filepath.Join(dir, "engine.wal")); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.CloseWAL()
+	if err := eng.ReopenWALRetry(context.Background(), 3); err != nil {
+		t.Fatalf("healthy reopen: %v", err)
 	}
 }

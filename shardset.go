@@ -1,0 +1,910 @@
+package emdsearch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emdsearch/internal/search"
+	"emdsearch/internal/shardset"
+)
+
+// ShardSetOptions configures a ShardSet. The zero value is usable:
+// every field has a sensible default.
+type ShardSetOptions struct {
+	// Shards is the number of engine partitions; <= 0 defaults to 2.
+	Shards int
+	// Gate configures each shard's admission gate (zero value takes
+	// GateOptions defaults).
+	Gate GateOptions
+	// DisableSharedThreshold turns off the cross-shard k-NN threshold:
+	// every shard then computes its full local top-k independently.
+	// Answers are identical either way (the shared threshold only
+	// changes work counters); the independent mode exists to verify
+	// exactly that, and as the deterministic-work reference.
+	DisableSharedThreshold bool
+	// MergeReserve is carved off the caller's deadline for gathering
+	// and merging shard answers (but never more than half the
+	// remaining time); default 2ms.
+	MergeReserve time.Duration
+	// ShardTimeout, when > 0, caps any single shard dispatch even when
+	// the caller supplied no deadline — the defense against a hung
+	// shard turning an undeadlined query into a hung query.
+	ShardTimeout time.Duration
+	// RetryMax bounds dispatch attempts per shard per query (first try
+	// plus retries and hedges); <= 0 defaults to 2. Only transient
+	// errors (ErrOverloaded) are retried, honoring their RetryAfter and
+	// paced by jittered exponential backoff.
+	RetryMax int
+	// RetryBase and RetryCap bound the backoff schedule; defaults 1ms
+	// and 250ms.
+	RetryBase, RetryCap time.Duration
+	// HedgeAfter, when > 0, re-dispatches a shard that has not answered
+	// after this delay and accepts whichever attempt finishes first.
+	HedgeAfter time.Duration
+	// QuarantineAfter is the number of consecutive hard failures
+	// (errors, panics — not overload shedding or deadline-degraded
+	// answers) after which a shard is quarantined, default 3;
+	// QuarantineCooldown is how long it sits out before a probe query
+	// is re-admitted, default 1s. A quarantined shard is skipped —
+	// counted as failed coverage — instead of burning the query budget.
+	QuarantineAfter    int
+	QuarantineCooldown time.Duration
+	// ShardHook, when non-nil, runs before every shard dispatch
+	// (including retries and hedges) with the attempt's context, the
+	// shard number, the 0-based attempt, and the operation ("knn",
+	// "range"). A returned error fails that attempt — the
+	// fault-injection seam the chaos suite drives delayed, erroring,
+	// panicking and flapping shards through. A delay-injecting hook
+	// must watch ctx, exactly as a real slow shard would.
+	ShardHook func(ctx context.Context, shard, try int, op string) error
+	// Seed fixes the retry jitter stream for reproducible tests; 0
+	// seeds from the clock.
+	Seed int64
+}
+
+func (o ShardSetOptions) withDefaults() ShardSetOptions {
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.MergeReserve <= 0 {
+		o.MergeReserve = 2 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2
+	}
+	if o.QuarantineAfter <= 0 {
+		o.QuarantineAfter = 3
+	}
+	if o.QuarantineCooldown <= 0 {
+		o.QuarantineCooldown = time.Second
+	}
+	return o
+}
+
+// ShardCoverage is a ShardAnswer's certificate of what the query did
+// and did not examine: which shards answered in full, which served
+// certified degraded answers, which failed outright, and how many
+// database items the failures left entirely unexamined. A caller that
+// needs completeness checks ShardsFailed == 0 && ShardsDegraded == 0;
+// everything else in the answer is sound regardless.
+type ShardCoverage struct {
+	// Shards is the partition count; ShardsOK answered in full,
+	// ShardsDegraded served certified partial answers, ShardsFailed
+	// returned nothing (error, panic, quarantine skip).
+	Shards         int `json:"shards"`
+	ShardsOK       int `json:"shards_ok"`
+	ShardsDegraded int `json:"shards_degraded"`
+	ShardsFailed   int `json:"shards_failed"`
+	// FailedShards lists the failed shard numbers.
+	FailedShards []int `json:"failed_shards,omitempty"`
+	// ItemsTotal is the logical database size; ItemsUncovered counts
+	// items no stage of the query examined — everything on failed
+	// shards plus whatever degraded shards never pulled. Items covered
+	// only by an interval appear in Anytime, not here.
+	ItemsTotal     int `json:"items_total"`
+	ItemsUncovered int `json:"items_uncovered"`
+}
+
+// ShardAnswer is the outcome of a scatter-gather k-NN query.
+//
+// With every shard healthy (Degraded false), Results is byte-identical
+// to a single engine's KNN over the union of the shards — global ids,
+// exact distances, deterministic (Dist, Index) tie-break. Under
+// partial failure, Results still holds only certified-exact neighbors
+// (confirmed distances survive their shard's later failure), Anytime
+// ranks the best items known with sound [Lower, Upper] intervals, and
+// Coverage says precisely what was missed.
+type ShardAnswer struct {
+	Results  []Result
+	Degraded bool
+	Anytime  []AnytimeItem
+	Coverage ShardCoverage
+	// Stats sums the per-shard query counters of every shard that
+	// answered; ShardStats holds each serving shard's own (nil for
+	// failed shards). Outcomes reports each shard's dispatch
+	// disposition: retries, hedges, quarantine skips, final error.
+	Stats      *QueryStats
+	ShardStats []*QueryStats
+	Outcomes   []ShardOutcome
+}
+
+// ShardOutcome is one shard's dispatch disposition for one query.
+type ShardOutcome struct {
+	Shard    int    `json:"shard"`
+	Tries    int    `json:"tries"`
+	Retries  int    `json:"retries"`
+	Hedged   bool   `json:"hedged,omitempty"`
+	HedgeWon bool   `json:"hedge_won,omitempty"`
+	Skipped  bool   `json:"skipped,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// ShardRangeAnswer is the outcome of a scatter-gather range query:
+// every returned item is individually certified within eps, so a
+// degraded answer is sound, only possibly incomplete — Coverage says
+// what was missed.
+type ShardRangeAnswer struct {
+	Results    []Result
+	Degraded   bool
+	Coverage   ShardCoverage
+	Stats      *QueryStats
+	ShardStats []*QueryStats
+	Outcomes   []ShardOutcome
+}
+
+// ShardBatchResult is the outcome of one query in a sharded batch.
+type ShardBatchResult struct {
+	Query  int
+	Answer *ShardAnswer
+	Err    error
+}
+
+// ShardSet partitions a corpus across N gated engines and serves
+// scatter-gather queries over the union. Placement is round-robin by
+// insertion order: global id g lives on shard g % N at local index
+// g / N, so the set is rebuildable from the shards alone and every
+// shard holds an equal slice (±1) of the corpus.
+//
+// Healthy-path answers are exact and byte-identical to a single
+// engine over the union: each shard runs the KNOP filter-and-refine
+// loop against one shared global k-NN threshold (sound because every
+// filter stage lower-bounds the exact EMD, so the global k-th
+// confirmed distance prunes only provable non-members on any shard),
+// and the merged top-k inherits the deterministic (Dist, Index)
+// tie-break. Failures degrade the answer instead of failing the
+// query: per-shard deadline budgets, retry with jittered backoff on
+// overload, optional hedged re-dispatch of stragglers, quarantine of
+// repeatedly failing shards with probing re-admission, and certified
+// partial answers with per-shard coverage accounting.
+//
+// Queries are safe for concurrent use. Mutations (Add, Delete, Build)
+// follow the Engine's discipline: safe to interleave with queries,
+// but not with each other.
+type ShardSet struct {
+	opts    ShardSetOptions
+	engines []*Engine
+	gates   []*Gate
+	health  []*shardset.Health
+	backoff *shardset.Backoff
+
+	mu    sync.Mutex // guards total (the global id counter)
+	total int
+
+	queries   atomic.Int64
+	degraded  atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	failures  atomic.Int64
+	skips     atomic.Int64
+	hedgeWins atomic.Int64
+}
+
+// NewShardSet builds an empty sharded set: opts.Shards engines, each
+// with its own gate, all sharing cost and engOpts.
+func NewShardSet(cost CostMatrix, engOpts Options, opts ShardSetOptions) (*ShardSet, error) {
+	opts = opts.withDefaults()
+	s := &ShardSet{opts: opts}
+	for i := 0; i < opts.Shards; i++ {
+		e, err := NewEngine(cost, engOpts)
+		if err != nil {
+			return nil, fmt.Errorf("emdsearch: shard %d: %w", i, err)
+		}
+		s.engines = append(s.engines, e)
+		s.gates = append(s.gates, NewGate(e, opts.Gate))
+		s.health = append(s.health, shardset.NewHealth(opts.QuarantineAfter, opts.QuarantineCooldown))
+	}
+	s.backoff = &shardset.Backoff{Base: opts.RetryBase, Cap: opts.RetryCap, Seed: opts.Seed}
+	return s, nil
+}
+
+// Shards returns the partition count.
+func (s *ShardSet) Shards() int { return len(s.engines) }
+
+// Engine returns shard i's engine — for direct inspection or
+// mutation-side operations the set does not wrap.
+func (s *ShardSet) Engine(i int) *Engine { return s.engines[i] }
+
+// Gate returns shard i's admission gate.
+func (s *ShardSet) Gate(i int) *Gate { return s.gates[i] }
+
+// shardOf maps a global id to its (shard, local) placement.
+func (s *ShardSet) shardOf(gid int) (shard, local int) {
+	n := len(s.engines)
+	return gid % n, gid / n
+}
+
+// toGlobal returns shard's local-to-global id mapping.
+func (s *ShardSet) toGlobal(shard int) func(local int) int {
+	n := len(s.engines)
+	return func(local int) int { return local*n + shard }
+}
+
+// shardLen returns how many of the first total global ids live on
+// shard: total/N, plus one for the shards the remainder reaches.
+func shardLen(total, shards, shard int) int {
+	n := total / shards
+	if shard < total%shards {
+		n++
+	}
+	return n
+}
+
+// Add inserts a histogram into the set and returns its global id.
+// Placement is round-robin: the item lands on shard id % Shards.
+func (s *ShardSet) Add(label string, h Histogram) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gid := s.total
+	shard, local := s.shardOf(gid)
+	got, err := s.engines[shard].Add(label, h)
+	if err != nil {
+		return 0, err
+	}
+	if got != local {
+		return 0, fmt.Errorf("emdsearch: shard %d placement drifted: item %d landed at local %d, want %d (was the shard mutated directly?)",
+			shard, gid, got, local)
+	}
+	s.total = gid + 1
+	return gid, nil
+}
+
+// Len returns the logical database size (including soft-deleted
+// items).
+func (s *ShardSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Alive returns the number of live (non-deleted) items across shards.
+func (s *ShardSet) Alive() int {
+	n := 0
+	for _, e := range s.engines {
+		n += e.Alive()
+	}
+	return n
+}
+
+// Delete soft-deletes the item with global id gid.
+func (s *ShardSet) Delete(gid int) error {
+	s.mu.Lock()
+	total := s.total
+	s.mu.Unlock()
+	if gid < 0 || gid >= total {
+		return badQueryf("Delete(%d): global id out of range [0, %d)", gid, total)
+	}
+	shard, local := s.shardOf(gid)
+	return s.engines[shard].Delete(local)
+}
+
+// Label returns the label of the item with global id gid.
+func (s *ShardSet) Label(gid int) string {
+	shard, local := s.shardOf(gid)
+	return s.engines[shard].Label(local)
+}
+
+// Build constructs every shard's filter pipeline, in parallel. The
+// first error wins; the other shards still finish building.
+func (s *ShardSet) Build() error {
+	errs := make([]error, len(s.engines))
+	var wg sync.WaitGroup
+	for i, e := range s.engines {
+		wg.Add(1)
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			errs[i] = e.Build()
+		}(i, e)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("emdsearch: build shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// scatterConfig assembles the per-query scatter policy: overload is
+// retried (honoring the gate's RetryAfter) and never quarantines;
+// context expiry never quarantines either (the budget is global —
+// punishing a shard for the caller's deadline would quarantine
+// healthy shards under tight SLOs); everything else is a hard fault.
+func (s *ShardSet) scatterConfig() shardset.Config {
+	return shardset.Config{
+		MaxAttempts: s.opts.RetryMax,
+		Backoff:     s.backoff,
+		HedgeAfter:  s.opts.HedgeAfter,
+		Retryable: func(err error) (bool, time.Duration) {
+			var ov *OverloadError
+			if errors.As(err, &ov) {
+				return true, ov.RetryAfter
+			}
+			return errors.Is(err, ErrOverloaded), 0
+		},
+		Faulty: func(err error) bool {
+			return !errors.Is(err, ErrOverloaded) &&
+				!errors.Is(err, context.DeadlineExceeded) &&
+				!errors.Is(err, context.Canceled)
+		},
+	}
+}
+
+// account folds one scatter's outcomes into the set-level counters
+// and renders them for the answer.
+func (s *ShardSet) account(outs []shardset.Outcome[shardServe]) []ShardOutcome {
+	rendered := make([]ShardOutcome, len(outs))
+	for i, o := range outs {
+		s.retries.Add(int64(o.Retries))
+		if o.Hedged {
+			s.hedges.Add(1)
+		}
+		if o.HedgeWon {
+			s.hedgeWins.Add(1)
+		}
+		if o.Skipped {
+			s.skips.Add(1)
+		}
+		if o.Err != nil {
+			s.failures.Add(1)
+		}
+		rendered[i] = ShardOutcome{
+			Shard:    o.Shard,
+			Tries:    o.Tries,
+			Retries:  o.Retries,
+			Hedged:   o.Hedged,
+			HedgeWon: o.HedgeWon,
+			Skipped:  o.Skipped,
+			Degraded: o.Err == nil && o.Value.degraded,
+		}
+		if o.Err != nil {
+			rendered[i].Err = o.Err.Error()
+		}
+	}
+	return rendered
+}
+
+// shardServe is one shard's served answer inside a scatter: exactly
+// one of knn/rng is set, plus whether the shard degraded.
+type shardServe struct {
+	knn      *KNNAnswer
+	rng      []Result
+	rngStats *QueryStats
+	degraded bool
+}
+
+// KNN answers a k-NN query across all shards. See ShardAnswer for the
+// healthy-path identity and partial-failure semantics. The error is
+// non-nil only for bad queries or when no shard served at all; every
+// other condition — including every shard degrading — returns a
+// certified (possibly partial) answer with a nil error.
+func (s *ShardSet) KNN(ctx context.Context, q Histogram, k int) (*ShardAnswer, error) {
+	if err := s.engines[0].validateKNN(q, k); err != nil {
+		return nil, err
+	}
+	s.queries.Add(1)
+	var shared *search.SharedKNN
+	if !s.opts.DisableSharedThreshold {
+		var err error
+		if shared, err = search.NewSharedKNN(k); err != nil {
+			return nil, badQueryf("%v", err)
+		}
+	}
+	sctx, cancel := shardset.CarveBudget(ctx, s.opts.MergeReserve, s.opts.ShardTimeout)
+	defer cancel()
+
+	outs := shardset.Scatter(sctx, len(s.gates), s.health, s.scatterConfig(),
+		func(ctx context.Context, shard, try int) (shardServe, error) {
+			if h := s.opts.ShardHook; h != nil {
+				if err := h(ctx, shard, try, "knn"); err != nil {
+					return shardServe{}, err
+				}
+			}
+			ans, err := s.gates[shard].knnShared(ctx, q, k, shared, s.toGlobal(shard))
+			if err != nil {
+				if ans != nil && ans.Degraded {
+					// The budget expired mid-query: the certified partial
+					// answer is the shard's contribution, not a failure.
+					return shardServe{knn: ans, degraded: true}, nil
+				}
+				return shardServe{}, err
+			}
+			return shardServe{knn: ans, degraded: ans.Degraded}, nil
+		})
+
+	ans := &ShardAnswer{
+		Stats:      &QueryStats{},
+		ShardStats: make([]*QueryStats, len(outs)),
+		Outcomes:   s.account(outs),
+	}
+	s.mu.Lock()
+	ans.Coverage = ShardCoverage{Shards: len(s.engines), ItemsTotal: s.total}
+	s.mu.Unlock()
+
+	// Merge: the union of per-shard local top-k (mapped to global ids)
+	// contains the global top-k — an item with fewer than k better
+	// items globally has fewer than k better on its own shard. The
+	// shared set's confirmed results join the pool too, preserving
+	// sound contributions from shards that failed after offering.
+	pool := map[int]float64{}
+	var anytime []AnytimeItem
+	for i, o := range outs {
+		if o.Err != nil {
+			ans.Coverage.ShardsFailed++
+			ans.Coverage.FailedShards = append(ans.Coverage.FailedShards, o.Shard)
+			ans.Coverage.ItemsUncovered += shardLen(ans.Coverage.ItemsTotal, len(s.engines), o.Shard)
+			continue
+		}
+		sa := o.Value.knn
+		toG := s.toGlobal(o.Shard)
+		for _, r := range sa.Results {
+			pool[toG(r.Index)] = r.Dist
+		}
+		if o.Value.degraded {
+			ans.Coverage.ShardsDegraded++
+			ans.Coverage.ItemsUncovered += sa.Unpulled
+			for _, it := range sa.Anytime {
+				anytime = append(anytime, AnytimeItem{
+					Index: toG(it.Index), Lower: it.Lower, Upper: it.Upper, Refined: it.Refined,
+				})
+			}
+		} else {
+			ans.Coverage.ShardsOK++
+		}
+		ans.ShardStats[i] = sa.Stats
+		addStats(ans.Stats, sa.Stats)
+	}
+	if shared != nil {
+		for _, r := range shared.Results() {
+			pool[r.Index] = r.Dist
+		}
+	}
+	if ans.Coverage.ShardsOK+ans.Coverage.ShardsDegraded == 0 {
+		ans.Degraded = true
+		if err := firstHardErr(outs); err != nil {
+			return ans, err
+		}
+		return ans, ctx.Err()
+	}
+
+	merged := make([]Result, 0, len(pool))
+	for gid, d := range pool {
+		merged = append(merged, Result{Index: gid, Dist: d})
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Dist != merged[b].Dist {
+			return merged[a].Dist < merged[b].Dist
+		}
+		return merged[a].Index < merged[b].Index
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	ans.Results = merged
+
+	if ans.Coverage.ShardsFailed > 0 || ans.Coverage.ShardsDegraded > 0 {
+		ans.Degraded = true
+		s.degraded.Add(1)
+		// Compose the certified-interval view: every confirmed
+		// neighbor as a tight interval, plus the degraded shards'
+		// interval items, ranked by guaranteed worst case and trimmed
+		// to k — the same order assembleAnytime uses per engine.
+		for _, r := range merged {
+			anytime = append(anytime, AnytimeItem{Index: r.Index, Lower: r.Dist, Upper: r.Dist, Refined: true})
+		}
+		seen := map[int]bool{}
+		dedup := anytime[:0]
+		for _, it := range sortAnytime(anytime) {
+			if seen[it.Index] {
+				continue
+			}
+			seen[it.Index] = true
+			dedup = append(dedup, it)
+		}
+		if len(dedup) > k {
+			dedup = dedup[:k]
+		}
+		ans.Anytime = dedup
+	}
+	return ans, nil
+}
+
+// sortAnytime orders interval items by (Upper, Lower, Index) with
+// refined (tight) items winning ties — the guaranteed-worst-case
+// ranking of the per-engine anytime machinery.
+func sortAnytime(items []AnytimeItem) []AnytimeItem {
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Upper != items[b].Upper {
+			return items[a].Upper < items[b].Upper
+		}
+		if items[a].Lower != items[b].Lower {
+			return items[a].Lower > items[b].Lower
+		}
+		if items[a].Index != items[b].Index {
+			return items[a].Index < items[b].Index
+		}
+		return items[a].Refined && !items[b].Refined
+	})
+	return items
+}
+
+// firstHardErr picks the most informative error out of a fully failed
+// scatter: a non-quarantine error if any shard produced one.
+func firstHardErr(outs []shardset.Outcome[shardServe]) error {
+	var first error
+	for _, o := range outs {
+		if o.Err == nil {
+			continue
+		}
+		if !errors.Is(o.Err, shardset.ErrQuarantined) {
+			return o.Err
+		}
+		if first == nil {
+			first = o.Err
+		}
+	}
+	return first
+}
+
+// addStats accumulates src's work counters into dst.
+func addStats(dst, src *QueryStats) {
+	if src == nil {
+		return
+	}
+	dst.Pulled += src.Pulled
+	dst.Refinements += src.Refinements
+	dst.RefinementsSkipped += src.RefinementsSkipped
+	dst.RefinesAborted += src.RefinesAborted
+	dst.WarmStartHits += src.WarmStartHits
+	dst.RefineRows += src.RefineRows
+	dst.RefineCols += src.RefineCols
+	dst.FilterTime += src.FilterTime
+	dst.RefineTime += src.RefineTime
+	if src.TotalTime > dst.TotalTime {
+		dst.TotalTime = src.TotalTime // wall clock: shards run concurrently
+	}
+	dst.Cancelled = dst.Cancelled || src.Cancelled
+	if src.Workers > dst.Workers {
+		dst.Workers = src.Workers
+	}
+}
+
+// Range answers a range query across all shards: the union of the
+// shards' certified results, sorted by (distance, global id). Every
+// returned item is individually certified within eps, so degraded
+// answers are sound, only possibly incomplete.
+func (s *ShardSet) Range(ctx context.Context, q Histogram, eps float64) (*ShardRangeAnswer, error) {
+	if err := s.engines[0].validateRange(q, eps); err != nil {
+		return nil, err
+	}
+	s.queries.Add(1)
+	sctx, cancel := shardset.CarveBudget(ctx, s.opts.MergeReserve, s.opts.ShardTimeout)
+	defer cancel()
+
+	outs := shardset.Scatter(sctx, len(s.gates), s.health, s.scatterConfig(),
+		func(ctx context.Context, shard, try int) (shardServe, error) {
+			if h := s.opts.ShardHook; h != nil {
+				if err := h(ctx, shard, try, "range"); err != nil {
+					return shardServe{}, err
+				}
+			}
+			res, stats, err := s.gates[shard].Range(ctx, q, eps)
+			if err != nil {
+				if stats != nil && stats.Cancelled {
+					return shardServe{rng: res, rngStats: stats, degraded: true}, nil
+				}
+				return shardServe{}, err
+			}
+			return shardServe{rng: res, rngStats: stats, degraded: stats != nil && stats.Cancelled}, nil
+		})
+
+	ans := &ShardRangeAnswer{
+		Stats:      &QueryStats{},
+		ShardStats: make([]*QueryStats, len(outs)),
+		Outcomes:   s.account(outs),
+	}
+	s.mu.Lock()
+	ans.Coverage = ShardCoverage{Shards: len(s.engines), ItemsTotal: s.total}
+	s.mu.Unlock()
+
+	var merged []Result
+	for i, o := range outs {
+		if o.Err != nil {
+			ans.Coverage.ShardsFailed++
+			ans.Coverage.FailedShards = append(ans.Coverage.FailedShards, o.Shard)
+			ans.Coverage.ItemsUncovered += shardLen(ans.Coverage.ItemsTotal, len(s.engines), o.Shard)
+			continue
+		}
+		toG := s.toGlobal(o.Shard)
+		for _, r := range o.Value.rng {
+			merged = append(merged, Result{Index: toG(r.Index), Dist: r.Dist})
+		}
+		if o.Value.degraded {
+			ans.Coverage.ShardsDegraded++
+			if st := o.Value.rngStats; st != nil {
+				unpulled := s.engines[o.Shard].Len() - st.Pulled
+				if unpulled > 0 {
+					ans.Coverage.ItemsUncovered += unpulled
+				}
+			}
+		} else {
+			ans.Coverage.ShardsOK++
+		}
+		ans.ShardStats[i] = o.Value.rngStats
+		addStats(ans.Stats, o.Value.rngStats)
+	}
+	if ans.Coverage.ShardsOK+ans.Coverage.ShardsDegraded == 0 {
+		ans.Degraded = true
+		if err := firstHardErr(outs); err != nil {
+			return ans, err
+		}
+		return ans, ctx.Err()
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Dist != merged[b].Dist {
+			return merged[a].Dist < merged[b].Dist
+		}
+		return merged[a].Index < merged[b].Index
+	})
+	ans.Results = merged
+	if ans.Coverage.ShardsFailed > 0 || ans.Coverage.ShardsDegraded > 0 {
+		ans.Degraded = true
+		s.degraded.Add(1)
+	}
+	return ans, nil
+}
+
+// BatchKNN answers many k-NN queries, each scattered across all
+// shards, using up to workers client goroutines (0 means GOMAXPROCS).
+// Entries resolve independently: one query's shed, degraded or failed
+// shards never contaminate another's answer.
+func (s *ShardSet) BatchKNN(ctx context.Context, queries []Histogram, k, workers int) ([]ShardBatchResult, error) {
+	if len(queries) == 0 {
+		return nil, badQueryf("empty batch")
+	}
+	if k < 1 {
+		return nil, badQueryf("k = %d, want >= 1", k)
+	}
+	out := make([]ShardBatchResult, len(queries))
+	runBatch(queries, workers, func(qi int) {
+		ans, err := s.KNN(ctx, queries[qi], k)
+		out[qi] = ShardBatchResult{Query: qi, Answer: ans, Err: err}
+	})
+	return out, nil
+}
+
+// ShardHealth is a point-in-time view of one shard's availability
+// tracker.
+type ShardHealth struct {
+	// State is "closed" (healthy), "open" (quarantined) or "half-open"
+	// (probing re-admission).
+	State       string    `json:"state"`
+	Successes   int64     `json:"successes"`
+	Failures    int64     `json:"failures"`
+	Skips       int64     `json:"skips"`
+	Quarantines int64     `json:"quarantines"`
+	LastError   string    `json:"last_error,omitempty"`
+	LastFault   time.Time `json:"last_fault,omitempty"`
+}
+
+// Health returns shard i's availability snapshot.
+func (s *ShardSet) Health(i int) ShardHealth {
+	st := s.health[i].Stats()
+	return ShardHealth{
+		State:       st.State,
+		Successes:   st.Successes,
+		Failures:    st.Failures,
+		Skips:       st.Skips,
+		Quarantines: st.Quarantines,
+		LastError:   st.LastError,
+		LastFault:   st.LastFault,
+	}
+}
+
+// ShardMetrics bundles one shard's engine, gate and health views.
+type ShardMetrics struct {
+	Engine Metrics     `json:"engine"`
+	Gate   GateMetrics `json:"gate"`
+	Health ShardHealth `json:"health"`
+}
+
+// ShardSetMetrics is a point-in-time aggregate of the set's
+// scatter-gather serving, JSON-marshalable like Engine.Metrics.
+type ShardSetMetrics struct {
+	Shards int `json:"shards"`
+	Items  int `json:"items"`
+	Alive  int `json:"alive"`
+	// Queries counts scatters started; DegradedAnswers those that
+	// returned with Degraded set. Retries, Hedges, HedgeWins,
+	// ShardFailures and QuarantineSkips count per-shard dispatch
+	// events across all queries.
+	Queries         int64          `json:"queries"`
+	DegradedAnswers int64          `json:"degraded_answers"`
+	Retries         int64          `json:"retries"`
+	Hedges          int64          `json:"hedges"`
+	HedgeWins       int64          `json:"hedge_wins"`
+	ShardFailures   int64          `json:"shard_failures"`
+	QuarantineSkips int64          `json:"quarantine_skips"`
+	PerShard        []ShardMetrics `json:"per_shard"`
+}
+
+// Metrics snapshots the set's serving counters plus every shard's
+// engine, gate and health metrics.
+func (s *ShardSet) Metrics() ShardSetMetrics {
+	m := ShardSetMetrics{
+		Shards:          len(s.engines),
+		Items:           s.Len(),
+		Alive:           s.Alive(),
+		Queries:         s.queries.Load(),
+		DegradedAnswers: s.degraded.Load(),
+		Retries:         s.retries.Load(),
+		Hedges:          s.hedges.Load(),
+		HedgeWins:       s.hedgeWins.Load(),
+		ShardFailures:   s.failures.Load(),
+		QuarantineSkips: s.skips.Load(),
+	}
+	for i := range s.engines {
+		m.PerShard = append(m.PerShard, ShardMetrics{
+			Engine: s.engines[i].Metrics(),
+			Gate:   s.gates[i].Metrics(),
+			Health: s.Health(i),
+		})
+	}
+	return m
+}
+
+// shardWALPath and shardSnapPath name shard i's persistence files
+// inside a set directory.
+func shardWALPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.wal", i))
+}
+
+func shardSnapPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.snap", i))
+}
+
+// OpenWAL attaches a write-ahead log to every shard, named
+// shard-NNN.wal inside dir. Mutations through the set are then
+// durable per shard; recover with OpenShardSet.
+func (s *ShardSet) OpenWAL(dir string) error {
+	for i, e := range s.engines {
+		if err := e.OpenWAL(shardWALPath(dir, i)); err != nil {
+			return fmt.Errorf("emdsearch: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes every shard's snapshot (shard-NNN.snap inside
+// dir) and rotates its WAL, in shard order. A crash between shards
+// recovers correctly — each shard's snapshot+log pair is internally
+// consistent, and OpenShardSet re-validates the cross-shard placement
+// invariant.
+func (s *ShardSet) Checkpoint(dir string) error {
+	for i, e := range s.engines {
+		if err := e.Checkpoint(shardSnapPath(dir, i)); err != nil {
+			return fmt.Errorf("emdsearch: checkpoint shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CloseWAL detaches every shard's log.
+func (s *ShardSet) CloseWAL() error {
+	var first error
+	for i, e := range s.engines {
+		if err := e.CloseWAL(); err != nil && first == nil {
+			first = fmt.Errorf("emdsearch: close shard %d WAL: %w", i, err)
+		}
+	}
+	return first
+}
+
+// OpenShardSet recovers a sharded set from dir: each shard is rebuilt
+// from its shard-NNN.snap + shard-NNN.wal pair via RecoverEngine,
+// then the round-robin placement invariant is re-validated — shard i
+// of N must hold exactly total/N (+1 for i < total%N) items, else the
+// shards' persistence diverged (a shard lost acknowledged mutations
+// the others kept) and the set refuses to serve wrong global ids.
+// The recovered engines have no open WAL; call OpenWAL(dir) — usually
+// after a Checkpoint(dir) — to resume durable logging.
+func OpenShardSet(dir string, cost CostMatrix, engOpts Options, opts ShardSetOptions) (*ShardSet, []*RecoverStats, error) {
+	opts = opts.withDefaults()
+	s := &ShardSet{opts: opts}
+	stats := make([]*RecoverStats, opts.Shards)
+	total := 0
+	for i := 0; i < opts.Shards; i++ {
+		e, st, err := RecoverEngine(shardSnapPath(dir, i), shardWALPath(dir, i), cost, engOpts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("emdsearch: recover shard %d: %w", i, err)
+		}
+		stats[i] = st
+		s.engines = append(s.engines, e)
+		s.gates = append(s.gates, NewGate(e, opts.Gate))
+		s.health = append(s.health, shardset.NewHealth(opts.QuarantineAfter, opts.QuarantineCooldown))
+		total += e.Len()
+	}
+	for i, e := range s.engines {
+		if want := shardLen(total, opts.Shards, i); e.Len() != want {
+			return nil, nil, fmt.Errorf("emdsearch: recover: shard %d holds %d items but round-robin placement of %d total requires %d — shard persistence diverged",
+				i, e.Len(), total, want)
+		}
+	}
+	s.total = total
+	s.backoff = &shardset.Backoff{Base: opts.RetryBase, Cap: opts.RetryCap, Seed: opts.Seed}
+	return s, stats, nil
+}
+
+// knnShared is the Gate's shard-path k-NN: Gate.KNN's admission,
+// degrade and breaker semantics with the engine search joined to the
+// cross-shard shared threshold. A nil shared set degenerates to
+// Gate.KNN exactly.
+func (g *Gate) knnShared(ctx context.Context, q Histogram, k int, shared *search.SharedKNN, toGlobal func(int) int) (*KNNAnswer, error) {
+	if err := g.e.validateKNN(q, k); err != nil {
+		g.e.metrics.queryError()
+		return nil, err
+	}
+	tk, err := g.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer tk.Release()
+
+	if !g.brk.Allow() {
+		g.degraded.Add(1)
+		return g.e.knnLBOnly(q, k)
+	}
+
+	qctx, cancel, gateOwned := g.budgetCtx(ctx, tk)
+	if cancel != nil {
+		defer cancel()
+	}
+	ans, err := g.e.knnSharedCtx(qctx, q, k, shared, toGlobal)
+	g.settle(err)
+	if err != nil && gateOwned && ans != nil && ans.Degraded && ctx.Err() == nil {
+		g.degraded.Add(1)
+		return ans, nil
+	}
+	return ans, err
+}
+
+// knnSharedCtx is Engine.KNNCtx joined to a cross-shard shared
+// neighbor set; with a nil shared set it is Engine.KNNCtx exactly.
+func (e *Engine) knnSharedCtx(ctx context.Context, q Histogram, k int, shared *search.SharedKNN, toGlobal func(int) int) (*KNNAnswer, error) {
+	if err := e.validateKNN(q, k); err != nil {
+		e.metrics.queryError()
+		return nil, err
+	}
+	s, err := e.snapshot()
+	if err != nil {
+		e.metrics.queryError()
+		return nil, err
+	}
+	return e.knnCtxOnSnap(ctx, s, q, k, nil, shared, toGlobal)
+}
