@@ -120,7 +120,7 @@ func (e *Engine) knnCtxOnSnap(ctx context.Context, s *snapshot, q Histogram, k i
 	if err := ctx.Err(); err != nil {
 		// Already expired: nothing was examined; the (empty) answer is
 		// still sound and says so.
-		stats := &QueryStats{Cancelled: true}
+		stats := &QueryStats{Cancelled: true, SnapshotLen: len(s.vectors)}
 		e.metrics.observe(metricKNN, stats)
 		e.metrics.queryDegraded()
 		return &KNNAnswer{Stats: stats, Degraded: true, Unpulled: len(s.vectors)}, err
@@ -139,6 +139,7 @@ func (e *Engine) knnCtxOnSnap(ctx context.Context, s *snapshot, q Histogram, k i
 		e.metrics.queryError()
 		return nil, e.internalErr("knn", err)
 	}
+	out.Stats.SnapshotLen = len(s.vectors)
 	// Soft-deleted items surface with infinite distance when fewer
 	// than k live items remain; drop them.
 	live := out.Results[:0]
@@ -221,7 +222,7 @@ func (e *Engine) RangeCtx(ctx context.Context, q Histogram, eps float64) ([]Resu
 		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		stats := &QueryStats{Cancelled: true}
+		stats := &QueryStats{Cancelled: true, SnapshotLen: len(s.vectors)}
 		e.metrics.observe(metricRange, stats)
 		return nil, stats, err
 	}
@@ -230,6 +231,7 @@ func (e *Engine) RangeCtx(ctx context.Context, q Histogram, eps float64) ([]Resu
 		e.metrics.queryError()
 		return nil, nil, e.internalErr("range", err)
 	}
+	stats.SnapshotLen = len(s.vectors)
 	e.metrics.observe(metricRange, stats)
 	e.metrics.resultsReturned(len(results))
 	e.maybeReplan()

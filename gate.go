@@ -401,7 +401,7 @@ func (e *Engine) knnLBOnly(q Histogram, k int) (*KNNAnswer, error) {
 			kthUpper = items[k-1].Upper
 		}
 	}
-	stats := &QueryStats{Pulled: pulled}
+	stats := &QueryStats{Pulled: pulled, SnapshotLen: len(s.vectors)}
 	e.metrics.observe(metricKNN, stats)
 	e.metrics.queryDegraded()
 	return &KNNAnswer{

@@ -37,6 +37,13 @@ type StageStats struct {
 type QueryStats struct {
 	// Pulled counts candidates drawn from the filter ranking.
 	Pulled int
+	// SnapshotLen is the number of indexed items (including
+	// soft-deleted ones) in the snapshot the query ran on; filled by
+	// the engine's context-aware entry points, 0 elsewhere.
+	// SnapshotLen - Pulled is the unexamined tail of a cancelled query,
+	// measured against the state it actually searched rather than the
+	// live engine (which races concurrent Adds).
+	SnapshotLen int
 	// Refinements counts exact (full-dimensional EMD) computations.
 	Refinements int
 	// RefinementsSkipped counts candidates that were dispatched to the

@@ -52,12 +52,31 @@ func (g *SharedKNN) Threshold() float64 { return g.threshold.Load() }
 // Offer records a confirmed exact distance for the item with the given
 // global id. Infinite distances (deleted items on some shard) are
 // ignored — they can never enter the answer and must not loosen the
-// set.
+// set. Offers are deduplicated by global id: a hedged re-dispatch runs
+// the same shard search twice (and a cancelled straggler keeps
+// offering briefly before it stops), so the same item can arrive more
+// than once; were it allowed to occupy two of the k slots, the
+// published threshold would drop below the true global k-th distance
+// and other shards would prune true neighbors.
 func (g *SharedKNN) Offer(globalIndex int, dist float64) {
 	if math.IsInf(dist, 1) {
 		return
 	}
 	g.mu.Lock()
+	for i, r := range g.results {
+		if r.Index != globalIndex {
+			continue
+		}
+		if r.Dist <= dist {
+			// Already present at least as tight: nothing to do.
+			g.mu.Unlock()
+			return
+		}
+		// Present but looser (attempts confirmed against different
+		// snapshots): keep the tighter confirmation, one slot only.
+		g.results = append(g.results[:i], g.results[i+1:]...)
+		break
+	}
 	pos := sort.Search(len(g.results), func(i int) bool {
 		if g.results[i].Dist != dist {
 			return g.results[i].Dist > dist

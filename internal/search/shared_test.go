@@ -194,6 +194,43 @@ func TestSharedKNNOfferIgnoresInf(t *testing.T) {
 	}
 }
 
+// TestSharedKNNOfferDedup: a hedged re-dispatch runs the same shard
+// search twice, so the same (global id, dist) pair arrives from both
+// attempts. A duplicate must not occupy a second top-k slot — that
+// would publish a threshold tighter than the true global k-th
+// distance and make other shards prune true neighbors.
+func TestSharedKNNOfferDedup(t *testing.T) {
+	g, err := NewSharedKNN(2)
+	if err != nil {
+		t.Fatalf("NewSharedKNN: %v", err)
+	}
+	g.Offer(7, 1.0)
+	g.Offer(7, 1.0) // the hedge's identical confirmation
+	if !math.IsInf(g.Threshold(), 1) {
+		t.Fatalf("duplicate offers filled the set: threshold = %v, want +Inf with one of two slots taken", g.Threshold())
+	}
+	if res := g.Results(); len(res) != 1 || res[0] != (Result{Index: 7, Dist: 1.0}) {
+		t.Fatalf("results after duplicate offers = %v, want one entry", res)
+	}
+	g.Offer(3, 2.0)
+	if g.Threshold() != 2.0 {
+		t.Fatalf("threshold = %v, want the true 2nd-best 2.0", g.Threshold())
+	}
+	// A tighter re-offer of a held id keeps one slot and adopts the
+	// tighter distance; a looser one is ignored.
+	g.Offer(3, 1.5)
+	if res := g.Results(); len(res) != 2 || res[1] != (Result{Index: 3, Dist: 1.5}) {
+		t.Fatalf("results after tighter re-offer = %v", res)
+	}
+	if g.Threshold() != 1.5 {
+		t.Fatalf("threshold = %v after tighter re-offer, want 1.5", g.Threshold())
+	}
+	g.Offer(7, 5.0)
+	if res := g.Results(); len(res) != 2 || res[0] != (Result{Index: 7, Dist: 1.0}) {
+		t.Fatalf("results after looser re-offer = %v", res)
+	}
+}
+
 // TestSharedKNNValidation pins the constructor's k check and the
 // classic path's indifference to a nil shared set.
 func TestSharedKNNValidation(t *testing.T) {

@@ -90,9 +90,15 @@ type Outcome[T any] struct {
 // check, panic-contained call, retry with jittered backoff on
 // retryable errors (within ctx's budget), and optional hedged
 // re-dispatch of stragglers. Scatter returns when every shard's loop
-// has resolved; with a ctx deadline each loop resolves no later than
-// the deadline plus one cooperative-cancellation latency, so the
-// gather cannot block unboundedly on a dead shard.
+// has resolved. The deadline bound is cooperative: provided call
+// honors its context's cancellation (the engine query paths poll it
+// once per candidate and once per simplex pivot), each loop resolves
+// no later than ctx's deadline plus one cancellation latency. A call
+// that ignores its context — a stuck syscall, a hook that never
+// checks ctx — blocks its shard's loop, and therefore the gather,
+// until it returns; Scatter deliberately waits rather than abandon
+// it, because a cooperative call that outlives its deadline by one
+// poll interval is how certified degraded partial answers arrive.
 //
 // health may be nil (no quarantine tracking) or hold one tracker per
 // shard.
@@ -153,8 +159,9 @@ func runShard[T any](ctx context.Context, shard int, h *Health, cfg Config, call
 // hedgedAttempt launches one attempt and, when configured and the
 // attempt budget allows, a single hedge after HedgeAfter; the first
 // success wins and the loser's context is cancelled. With no success,
-// it returns after all launched attempts finish (each is bounded by
-// ctx). Panics in call are contained to a PanicError.
+// it returns after all launched attempts finish (each bounded by ctx
+// only insofar as call honors its cancellation — see Scatter's doc).
+// Panics in call are contained to a PanicError.
 func hedgedAttempt[T any](ctx context.Context, shard int, try *int, cfg Config, call func(ctx context.Context, shard, try int) (T, error), out *Outcome[T]) (T, error) {
 	type res struct {
 		v   T

@@ -431,6 +431,62 @@ func TestShardChaosHedgeWins(t *testing.T) {
 	}
 }
 
+// TestShardChaosHedgeMidSearch: the hedge fires while the primary
+// attempt is still about to search, so BOTH attempts run the same
+// shard search concurrently and offer identical (global id, dist)
+// pairs to the shared k-NN set — the straggler keeps offering until
+// the winner's completion cancels it. Duplicate offers must collapse
+// to one top-k slot each; were they to occupy two, the published
+// threshold would drop below the true global k-th distance and the
+// healthy shards would prune true neighbors, silently corrupting a
+// non-Degraded answer.
+func TestShardChaosHedgeMidSearch(t *testing.T) {
+	const shards, slow = 3, 1
+	// The straggler's hook blocks (deliberately ignoring ctx) until the
+	// hedge's hook has run, so primary and hedge enter the engine
+	// search together; slowed refinements keep both mid-search long
+	// enough that each confirms — and offers — overlapping neighbors.
+	primaryGate := make(chan struct{})
+	hook := func(ctx context.Context, shard, try int, op string) error {
+		if shard != slow {
+			return nil
+		}
+		if try == 0 {
+			select {
+			case <-primaryGate:
+				return nil
+			case <-time.After(5 * time.Second):
+				return errors.New("hedge never launched")
+			}
+		}
+		close(primaryGate)
+		return nil
+	}
+	engOpts := Options{ReducedDims: 4, Seed: 1,
+		RefineHook: func(int) { time.Sleep(time.Millisecond) }}
+	set, single, queries := buildChaosSet(t, shards, 36, engOpts,
+		ShardSetOptions{ShardHook: hook, HedgeAfter: time.Millisecond, RetryMax: 2,
+			Gate: GateOptions{MaxConcurrent: 4}})
+	q, k := queries[2], 6
+	ans, err := set.KNN(context.Background(), q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ans.Outcomes[slow]
+	if !o.Hedged || o.Tries != 2 || o.Err != "" {
+		t.Fatalf("straggler outcome = %+v, want a clean hedged dispatch", o)
+	}
+	if ans.Degraded {
+		t.Fatalf("hedged query degraded: %+v", ans.Coverage)
+	}
+	assertFullCoverage(t, "hedge-mid-search", ans.Coverage, shards, set.Len())
+	want, _, err := single.KNN(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResultBytes(t, "hedge-mid-search", ans.Results, want)
+}
+
 // TestShardChaosAllShardsFail: with every shard failing, the query
 // returns a non-nil error and a fully-uncovered certificate.
 func TestShardChaosAllShardsFail(t *testing.T) {

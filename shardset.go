@@ -104,9 +104,13 @@ type ShardCoverage struct {
 	// FailedShards lists the failed shard numbers.
 	FailedShards []int `json:"failed_shards,omitempty"`
 	// ItemsTotal is the logical database size; ItemsUncovered counts
-	// items no stage of the query examined — everything on failed
-	// shards plus whatever degraded shards never pulled. Items covered
-	// only by an interval appear in Anytime, not here.
+	// items the query is not known to have examined — everything on
+	// failed shards (minus the neighbors a failing shard confirmed
+	// into the merged answer before it died) plus whatever degraded
+	// shards never pulled. It is an upper bound on the true miss: a
+	// failed shard may have examined items it never got to confirm,
+	// and those stay counted as uncovered. Items covered only by an
+	// interval appear in Anytime, not here.
 	ItemsTotal     int `json:"items_total"`
 	ItemsUncovered int `json:"items_uncovered"`
 }
@@ -458,7 +462,6 @@ func (s *ShardSet) KNN(ctx context.Context, q Histogram, k int) (*ShardAnswer, e
 		if o.Err != nil {
 			ans.Coverage.ShardsFailed++
 			ans.Coverage.FailedShards = append(ans.Coverage.FailedShards, o.Shard)
-			ans.Coverage.ItemsUncovered += shardLen(ans.Coverage.ItemsTotal, len(s.engines), o.Shard)
 			continue
 		}
 		sa := o.Value.knn
@@ -486,11 +489,33 @@ func (s *ShardSet) KNN(ctx context.Context, q Histogram, k int) (*ShardAnswer, e
 		}
 	}
 	if ans.Coverage.ShardsOK+ans.Coverage.ShardsDegraded == 0 {
+		// No shard served: nothing from the pool is returned, so the
+		// certificate counts every failed shard in full.
+		for _, f := range ans.Coverage.FailedShards {
+			ans.Coverage.ItemsUncovered += shardLen(ans.Coverage.ItemsTotal, len(s.engines), f)
+		}
 		ans.Degraded = true
 		if err := firstHardErr(outs); err != nil {
 			return ans, err
 		}
 		return ans, ctx.Err()
+	}
+	// Failed-shard coverage, counted against the completed pool: a
+	// shard that confirmed neighbors into the shared set before
+	// failing did examine them, and they survive into the merged
+	// answer — so they are not uncovered. What the shard examined
+	// without confirming is unknowable and stays counted (the
+	// certificate's conservative direction).
+	for _, f := range ans.Coverage.FailedShards {
+		uncovered := shardLen(ans.Coverage.ItemsTotal, len(s.engines), f)
+		for gid := range pool {
+			if gid%len(s.engines) == f {
+				uncovered--
+			}
+		}
+		if uncovered > 0 {
+			ans.Coverage.ItemsUncovered += uncovered
+		}
 	}
 
 	merged := make([]Result, 0, len(pool))
@@ -578,6 +603,7 @@ func addStats(dst, src *QueryStats) {
 		return
 	}
 	dst.Pulled += src.Pulled
+	dst.SnapshotLen += src.SnapshotLen
 	dst.Refinements += src.Refinements
 	dst.RefinementsSkipped += src.RefinementsSkipped
 	dst.RefinesAborted += src.RefinesAborted
@@ -648,8 +674,10 @@ func (s *ShardSet) Range(ctx context.Context, q Histogram, eps float64) (*ShardR
 		if o.Value.degraded {
 			ans.Coverage.ShardsDegraded++
 			if st := o.Value.rngStats; st != nil {
-				unpulled := s.engines[o.Shard].Len() - st.Pulled
-				if unpulled > 0 {
+				// The unexamined tail of the snapshot this shard
+				// actually searched — not live engine state, which
+				// races concurrent Adds and would mis-count.
+				if unpulled := st.SnapshotLen - st.Pulled; unpulled > 0 {
 					ans.Coverage.ItemsUncovered += unpulled
 				}
 			}
