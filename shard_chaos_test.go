@@ -426,8 +426,10 @@ func TestShardChaosHedgeWins(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameResultBytes(t, "hedge", ans.Results, want)
-	if m := set.Metrics(); m.Hedges != 1 || m.HedgeWins != 1 {
-		t.Fatalf("set metrics = %+v, want one winning hedge", m)
+	// Lower bounds, not equality: under scheduler load a healthy
+	// shard's primary can also outlive HedgeAfter and hedge.
+	if m := set.Metrics(); m.Hedges < 1 || m.HedgeWins < 1 {
+		t.Fatalf("set metrics hedges=%d hedgeWins=%d, want >= 1 each", m.Hedges, m.HedgeWins)
 	}
 }
 
