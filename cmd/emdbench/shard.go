@@ -37,6 +37,12 @@ type shardRun struct {
 	// with exact coverage instead of failing.
 	ChaosQPS      float64 `json:"chaos_qps"`
 	ChaosDegraded int     `json:"chaos_degraded"`
+	// Replicated leg: one follower per shard, shard 0's primary dead.
+	// Failover serves the full answer — verified bit-identical to the
+	// single engine (hard assertion) with zero uncovered items.
+	FailoverQPS     float64 `json:"failover_qps"`
+	FailoverServes  int64   `json:"failover_serves"`
+	ReplicaIdentity bool    `json:"replica_identity"`
 }
 
 // shardReport is the machine-readable result of -exp shard, written
@@ -152,11 +158,48 @@ func runShard(cfg shardConfig) error {
 			run.ChaosDegraded++
 		}
 		run.ChaosQPS = float64(len(queries)) / time.Since(start).Seconds()
+
+		// Replicated leg: same dead primary, but each shard has a
+		// caught-up follower — the failover answer must be complete and
+		// bit-identical to the single-engine reference.
+		repl, err := buildReplicatedBench(ds.Cost, engOpts, vecs, ds, shards,
+			func(ctx context.Context, shard, try int, op string) error {
+				if shard == 0 && shards > 1 && op == "knn" {
+					return errors.New("bench: injected primary crash")
+				}
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		run.ReplicaIdentity = true
+		start = time.Now()
+		for qi, q := range queries {
+			ans, err := repl.KNN(ctx, q, cfg.k)
+			if err != nil {
+				return fmt.Errorf("shards=%d failover query %d: %w", shards, qi, err)
+			}
+			if shards > 1 {
+				if ans.Degraded || ans.Coverage.ItemsUncovered != 0 {
+					return fmt.Errorf("shards=%d failover query %d: caught-up failover degraded: %+v", shards, qi, ans.Coverage)
+				}
+				if !ans.Outcomes[0].FailedOver {
+					return fmt.Errorf("shards=%d failover query %d: shard 0 did not fail over: %+v", shards, qi, ans.Outcomes[0])
+				}
+			}
+			if !sameShardResults(ans.Results, reference[qi]) {
+				return fmt.Errorf("shards=%d failover query %d: failed-over answer diverged from single engine\n got: %v\nwant: %v",
+					shards, qi, ans.Results, reference[qi])
+			}
+		}
+		run.FailoverQPS = float64(len(queries)) / time.Since(start).Seconds()
+		run.FailoverServes = repl.Metrics().FailoverServes
+		repl.Close()
 		report.Runs = append(report.Runs, run)
 
-		fmt.Printf("shards=%d  healthy %.0f q/s (p95 %v, %d refinements)  chaos %.0f q/s (%d/%d degraded)\n",
+		fmt.Printf("shards=%d  healthy %.0f q/s (p95 %v, %d refinements)  chaos %.0f q/s (%d/%d degraded)  failover %.0f q/s (%d serves, identity ok)\n",
 			shards, run.HealthyQPS, time.Duration(run.HealthyP95NS), run.Refinements,
-			run.ChaosQPS, run.ChaosDegraded, len(queries))
+			run.ChaosQPS, run.ChaosDegraded, len(queries), run.FailoverQPS, run.FailoverServes)
 	}
 
 	if cfg.out != "" {
@@ -186,6 +229,30 @@ func buildShardBench(cost emdsearch.CostMatrix, engOpts emdsearch.Options, vecs 
 		}
 	}
 	if err := set.Build(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// buildReplicatedBench loads the corpus into a shard set with one
+// follower per shard and waits for the followers to catch up, so the
+// failover leg measures steady-state serving, not bootstrap.
+func buildReplicatedBench(cost emdsearch.CostMatrix, engOpts emdsearch.Options, vecs []emdsearch.Histogram, ds *data.Dataset, shards int, hook func(ctx context.Context, shard, try int, op string) error) (*emdsearch.ShardSet, error) {
+	set, err := emdsearch.NewShardSet(cost, engOpts, emdsearch.ShardSetOptions{
+		Shards: shards, ShardHook: hook, QuarantineAfter: 1 << 30, Replicas: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range vecs {
+		if _, err := set.Add(ds.Items[i].Label, h); err != nil {
+			return nil, err
+		}
+	}
+	if err := set.Build(); err != nil {
+		return nil, err
+	}
+	if err := set.WaitReplicasCaughtUp(context.Background()); err != nil {
 		return nil, err
 	}
 	return set, nil

@@ -103,10 +103,14 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ans)
 }
 
-// healthzResponse is the GET /healthz body.
+// healthzResponse is the GET /healthz body. Replicas is present only
+// when the set runs with followers: per-shard ship status, so an
+// operator can see replication lag before deciding a failover answer's
+// freshness bound is acceptable.
 type healthzResponse struct {
-	Status string                  `json:"status"`
-	Shards []emdsearch.ShardHealth `json:"shards"`
+	Status   string                   `json:"status"`
+	Shards   []emdsearch.ShardHealth  `json:"shards"`
+	Replicas []emdsearch.ShardReplica `json:"replicas,omitempty"`
 }
 
 // handleHealthz reports per-shard availability: 200 while at least one
@@ -120,6 +124,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Shards = append(resp.Shards, h)
 		if h.State == "open" {
 			open++
+		}
+		if rep, ok := s.set.Replica(i); ok {
+			resp.Replicas = append(resp.Replicas, rep)
 		}
 	}
 	code := http.StatusOK

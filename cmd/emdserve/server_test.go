@@ -202,3 +202,209 @@ func TestServeAllShardsDown(t *testing.T) {
 		t.Fatalf("503 body = %+v", body)
 	}
 }
+
+// TestServeReplicaFailover: with followers enabled and one primary
+// dead, the HTTP answer is complete — full coverage, a zero-lag
+// freshness entry — and /healthz surfaces per-shard replica status.
+func TestServeReplicaFailover(t *testing.T) {
+	hook := func(ctx context.Context, shard, try int, op string) error {
+		if shard == 1 && op == "knn" {
+			return errors.New("injected primary crash")
+		}
+		return nil
+	}
+	ds, err := data.MusicSpectra(45, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs, queries, err := ds.Split(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := emdsearch.NewShardSet(ds.Cost,
+		emdsearch.Options{ReducedDims: 4, Seed: 1},
+		emdsearch.ShardSetOptions{Shards: 3, ShardHook: hook, QuarantineAfter: 100, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	for i, h := range vecs {
+		if _, err := set.Add(ds.Items[i].Label, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.WaitReplicasCaughtUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer((&server{set: set, timeout: time.Second}).handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/knn", knnRequest{Q: queries[0], K: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var ans emdsearch.ShardAnswer
+	decodeBody(t, resp, &ans)
+	if ans.Degraded || ans.Coverage.ItemsUncovered != 0 || ans.Coverage.ShardsOK != 3 {
+		t.Fatalf("failed-over answer = %+v", ans.Coverage)
+	}
+	fr := ans.Coverage.Freshness
+	if len(fr) != 1 || fr[0].Shard != 1 || fr[0].Lag != 0 {
+		t.Fatalf("freshness over JSON = %+v", fr)
+	}
+	if !ans.Outcomes[1].FailedOver {
+		t.Fatalf("outcome = %+v, want failed_over", ans.Outcomes[1])
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health healthzResponse
+	decodeBody(t, hresp, &health)
+	if len(health.Replicas) != 3 {
+		t.Fatalf("healthz replicas = %+v, want 3 entries", health.Replicas)
+	}
+	for i, rep := range health.Replicas {
+		if rep.Shard != i || !rep.Bootstrapped || rep.Lag != 0 {
+			t.Fatalf("healthz replica %d = %+v", i, rep)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m emdsearch.ShardSetMetrics
+	decodeBody(t, mresp, &m)
+	if m.FailoverServes < 1 || len(m.Replicas) != 3 {
+		t.Fatalf("metrics = failovers %d, %d replica entries", m.FailoverServes, len(m.Replicas))
+	}
+}
+
+// TestServeDurabilityRoundTrip: a set built with -wal-dir survives a
+// restart — the second buildSet recovers the corpus from disk instead
+// of regenerating, including mutations made after the initial load.
+func TestServeDurabilityRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serveConfig{shards: 3, n: 40, d: 16, dprime: 4, seed: 9, walDir: dir}
+
+	set, recovered, err := buildSet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered {
+		t.Fatal("fresh directory reported a recovery")
+	}
+	// A post-build mutation lives only in the WAL until a checkpoint.
+	ds, err := data.MusicSpectra(cfg.n, cfg.d, cfg.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gid, err := set.Add("late", ds.Items[0].Vector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Items[1].Vector
+	want, err := set.KNN(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash without a checkpoint: recovery must replay the WAL tail.
+	if err := set.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, recovered, err := buildSet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered {
+		t.Fatal("restart did not recover from the WAL directory")
+	}
+	if rec.Len() != gid+1 {
+		t.Fatalf("recovered %d items, want %d", rec.Len(), gid+1)
+	}
+	got, err := rec.KNN(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Results {
+		if got.Results[i] != want.Results[i] {
+			t.Fatalf("pos %d: recovered %+v, want %+v", i, got.Results[i], want.Results[i])
+		}
+	}
+	// buildSet's recovery path checkpointed: the logs restart empty, so
+	// a further mutation is the only WAL record a third start replays.
+	if _, err := rec.Add("later", ds.Items[2].Vector); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	third, recovered, err := buildSet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered || third.Len() != gid+2 {
+		t.Fatalf("third start: recovered=%v len=%d, want %d", recovered, third.Len(), gid+2)
+	}
+	if err := third.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeCheckpointLoop: the periodic loop checkpoints on its
+// ticker, and closing stop flushes a final checkpoint and detaches
+// the WALs — after which recovery needs no log replay at all.
+func TestServeCheckpointLoop(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serveConfig{shards: 2, n: 24, d: 16, dprime: 4, seed: 9, walDir: dir}
+	set, _, err := buildSet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoints := func() int64 {
+		var n int64
+		for _, ps := range set.Metrics().PerShard {
+			n += ps.Engine.Checkpoints
+		}
+		return n
+	}
+	before := checkpoints()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		checkpointLoop(set, dir, 5*time.Millisecond, stop)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for checkpoints() <= before {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checkpoint never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	// The final flush detached the logs: mutations now fail loudly
+	// rather than silently losing durability...
+	rec, stats, err := emdsearch.OpenShardSet(dir, set.Engine(0).Cost(), emdsearch.Options{ReducedDims: 4, Seed: 9}, emdsearch.ShardSetOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and the snapshots carry everything: zero records replayed.
+	for i, st := range stats {
+		if st.WALRecords != 0 || !st.SnapshotLoaded {
+			t.Fatalf("shard %d recovery after flush: %+v, want snapshot-only", i, st)
+		}
+	}
+	if rec.Len() != set.Len() {
+		t.Fatalf("recovered %d items, want %d", rec.Len(), set.Len())
+	}
+}

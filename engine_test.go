@@ -20,6 +20,20 @@ func exactDist(t *testing.T, e *Engine, q Histogram, i int) float64 {
 	return d
 }
 
+// intervalContainsUlps reports lower <= x <= upper with `ulps` units
+// in the last place of slack on each side. The exact EMD recomputed
+// by a fresh simplex solve can land a few final bits away from the
+// query-time certified value (summation order, warm starts); that is
+// measurement noise in the reference, not an unsound interval.
+func intervalContainsUlps(lower, upper, x float64, ulps int) bool {
+	lo, hi := lower, upper
+	for i := 0; i < ulps; i++ {
+		lo = math.Nextafter(lo, math.Inf(-1))
+		hi = math.Nextafter(hi, math.Inf(1))
+	}
+	return lo <= x && x <= hi
+}
+
 func buildEngine(t *testing.T, opts Options, n int) (*Engine, []Histogram) {
 	t.Helper()
 	ds, err := data.MusicSpectra(n+5, 32, 9)

@@ -576,7 +576,7 @@ func TestGateBatchKNNMixedOutcomes(t *testing.T) {
 			}
 			for _, it := range r.Answer.Anytime {
 				exact := exactDist(t, eng, queries[i], it.Index)
-				if it.Lower > exact || exact > it.Upper {
+				if !intervalContainsUlps(it.Lower, it.Upper, exact, 4) {
 					t.Fatalf("degraded entry %d: interval [%v, %v] excludes exact %v", i, it.Lower, it.Upper, exact)
 				}
 			}

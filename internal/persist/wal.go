@@ -85,6 +85,7 @@ type WAL struct {
 	path   string
 	hdr    WALHeader
 	off    int64 // bytes known good (written and framed completely)
+	lsn    int64 // sequence number of the last acknowledged record
 	broken error // sticky first unrecoverable error
 }
 
@@ -131,7 +132,7 @@ func OpenWAL(path string, hdr WALHeader) (*WAL, *WALScan, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("persist: open wal: %w", err)
 	}
-	w := &WAL{f: f, path: path, hdr: hdr, off: scan.GoodSize}
+	w := &WAL{f: f, path: path, hdr: hdr, off: scan.GoodSize, lsn: int64(scan.Records)}
 	if scan.GoodSize == 0 {
 		// Fresh, empty, or fully-torn-before-header file: start over
 		// with a clean preamble.
@@ -169,22 +170,33 @@ func (w *WAL) writePreambleLocked() error {
 // partial frame away (keeping the WAL usable), and if that rollback
 // fails the WAL latches broken.
 func (w *WAL) Append(rec WALRecord) error {
+	_, err := w.AppendLSN(rec)
+	return err
+}
+
+// AppendLSN is Append returning the acknowledged record's log sequence
+// number: the 1-based position of the record among the acknowledged
+// records of this log since its last preamble (open or Reset). LSNs
+// are assigned only to durable records — an append that fails consumes
+// no sequence number — so the LSN of the last acknowledged record
+// always equals the record count a replay of the log would see.
+func (w *WAL) AppendLSN(rec WALRecord) (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.broken != nil {
-		return fmt.Errorf("%w by an earlier error (recover and reopen): %w", ErrWALBroken, w.broken)
+		return 0, fmt.Errorf("%w by an earlier error (recover and reopen): %w", ErrWALBroken, w.broken)
 	}
 	if w.f == nil {
-		return fmt.Errorf("persist: append to closed wal")
+		return 0, fmt.Errorf("persist: append to closed wal")
 	}
 	frame := appendFrame(nil, encodeRecord(rec))
 	if _, err := w.f.Write(frame); err != nil {
 		werr := fmt.Errorf("persist: wal append: %w", err)
 		if terr := w.f.Truncate(w.off); terr != nil {
 			w.broken = werr
-			return fmt.Errorf("%w: %w (rollback truncate also failed: %v)", ErrWALBroken, werr, terr)
+			return 0, fmt.Errorf("%w: %w (rollback truncate also failed: %v)", ErrWALBroken, werr, terr)
 		}
-		return werr
+		return 0, werr
 	}
 	if err := w.f.Sync(); err != nil {
 		// The frame bytes may or may not be durable; roll them back so
@@ -192,12 +204,23 @@ func (w *WAL) Append(rec WALRecord) error {
 		werr := fmt.Errorf("persist: wal sync: %w", err)
 		if terr := w.f.Truncate(w.off); terr != nil {
 			w.broken = werr
-			return fmt.Errorf("%w: %w (rollback truncate also failed: %v)", ErrWALBroken, werr, terr)
+			return 0, fmt.Errorf("%w: %w (rollback truncate also failed: %v)", ErrWALBroken, werr, terr)
 		}
-		return werr
+		return 0, werr
 	}
 	w.off += int64(len(frame))
-	return nil
+	w.lsn++
+	return w.lsn, nil
+}
+
+// LSN returns the sequence number of the last acknowledged record:
+// the count of durable records in the log since its last preamble, 0
+// for a log holding none. On open it is initialized from the
+// integrity scan, so it equals what a replay of the file would count.
+func (w *WAL) LSN() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lsn
 }
 
 // Reset truncates the log to empty and rewrites the preamble; used by
@@ -213,6 +236,7 @@ func (w *WAL) Reset() error {
 		return fmt.Errorf("%w: %w", ErrWALBroken, w.broken)
 	}
 	w.off = 0
+	w.lsn = 0
 	if err := w.writePreambleLocked(); err != nil {
 		w.broken = err
 		return fmt.Errorf("%w: %w", ErrWALBroken, err)

@@ -1,0 +1,88 @@
+package persist
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestWALLSN locks in the sequence-number contract replication relies
+// on: LSNs are dense, 1-based, assigned only to durable records, and
+// a reopened log resumes exactly where the acknowledged prefix ends.
+func TestWALLSN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := OpenWAL(path, testHdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.LSN(); got != 0 {
+		t.Fatalf("fresh log LSN = %d, want 0", got)
+	}
+	recs := testRecords()
+	for i, rec := range recs[:3] {
+		lsn, err := w.AppendLSN(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != int64(i+1) {
+			t.Fatalf("append %d assigned LSN %d, want %d", i, lsn, i+1)
+		}
+	}
+	if got := w.LSN(); got != 3 {
+		t.Fatalf("LSN after 3 appends = %d, want 3", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen resumes from the acknowledged record count.
+	w, scan, err := OpenWAL(path, testHdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.LSN(); got != int64(scan.Records) || got != 3 {
+		t.Fatalf("reopened LSN = %d (scan %d records), want 3", got, scan.Records)
+	}
+	lsn, err := w.AppendLSN(recs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 4 {
+		t.Fatalf("append after reopen assigned LSN %d, want 4", lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALLSNFailedAppendAndReset: a failed append consumes no sequence
+// number, and Reset starts a new generation at LSN 0.
+func TestWALLSNFailedAppendAndReset(t *testing.T) {
+	fake := &fakeWALFile{}
+	w := &WAL{f: fake, hdr: testHdr}
+	if err := w.writePreambleLocked(); err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	if lsn, err := w.AppendLSN(recs[0]); err != nil || lsn != 1 {
+		t.Fatalf("first append: lsn %d, err %v", lsn, err)
+	}
+	fake.failWrites, fake.partialWrite = 1, 7
+	if _, err := w.AppendLSN(recs[1]); err == nil {
+		t.Fatal("injected write error swallowed")
+	}
+	if got := w.LSN(); got != 1 {
+		t.Fatalf("LSN after failed append = %d, want 1", got)
+	}
+	if lsn, err := w.AppendLSN(recs[2]); err != nil || lsn != 2 {
+		t.Fatalf("append after rollback: lsn %d, err %v", lsn, err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.LSN(); got != 0 {
+		t.Fatalf("LSN after reset = %d, want 0", got)
+	}
+	if lsn, err := w.AppendLSN(recs[3]); err != nil || lsn != 1 {
+		t.Fatalf("append after reset: lsn %d, err %v", lsn, err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package replica ships acknowledged WAL records from a primary
+// engine to a follower so a shard can fail over without losing
+// coverage. The primary acknowledges each mutation to a Shipper,
+// which assigns it a dense log sequence number (LSN) and delivers it
+// over a Link in LSN order, retrying transient transport faults with
+// jittered backoff. The follower applies records idempotently over a
+// snapshot bootstrap — the same id-carrying WAL record format and
+// replay discipline crash recovery uses — so redelivery after a
+// partial failure is harmless.
+//
+// The package moves opaque persist.WALRecord values and tracks LSNs;
+// it knows nothing about EMD search. The Link seam keeps transport
+// pluggable: in-process function calls today, a network client later,
+// with identical sequencing and freshness accounting.
+//
+// Freshness: Status reports the primary's last acknowledged LSN and
+// the follower's applied LSN. Their difference bounds how many
+// acknowledged mutations the follower may be missing — the quantity a
+// coverage certificate must disclose when a follower serves a query.
+package replica
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"emdsearch/internal/persist"
+	"emdsearch/internal/shardset"
+)
+
+// Record is one acknowledged primary mutation tagged with its log
+// sequence number. LSNs are dense and 1-based within a shipper.
+type Record struct {
+	LSN int64
+	Rec persist.WALRecord
+}
+
+// Link delivers one record to a follower. Ship returns nil only after
+// the follower has applied the record; any error makes the shipper
+// retry the SAME record after a backoff, so implementations must
+// tolerate redelivery (idempotent replay makes this free for the
+// engine-applying link). Ship is called from a single goroutine, in
+// strict LSN order.
+type Link interface {
+	Ship(ctx context.Context, rec Record) error
+}
+
+// LinkFunc adapts a function to a Link — the in-process transport.
+type LinkFunc func(ctx context.Context, rec Record) error
+
+// Ship implements Link.
+func (f LinkFunc) Ship(ctx context.Context, rec Record) error { return f(ctx, rec) }
+
+// Status is a point-in-time snapshot of one shipper's replication
+// state.
+type Status struct {
+	// PrimaryLSN is the sequence number of the last mutation the
+	// primary acknowledged.
+	PrimaryLSN int64 `json:"primary_lsn"`
+	// AppliedLSN is the sequence number through which the follower has
+	// applied. AppliedLSN <= PrimaryLSN always.
+	AppliedLSN int64 `json:"applied_lsn"`
+	// Lag = PrimaryLSN − AppliedLSN bounds how many acknowledged
+	// mutations the follower may be missing.
+	Lag int64 `json:"lag"`
+	// ShipErrors counts failed Ship attempts since the shipper
+	// started (each is retried).
+	ShipErrors uint64 `json:"ship_errors"`
+	// LastError is the most recent Ship failure, "" if none.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Shipper sequences and delivers acknowledged mutations to one
+// follower. All methods are safe for concurrent use; delivery happens
+// on a background goroutine so a slow or flapping link never blocks
+// the primary's write path.
+type Shipper struct {
+	link   Link
+	bo     *shardset.Backoff
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []Record
+	primary  int64 // LSN of the last acknowledged primary mutation
+	applied  int64 // LSN through which the follower has applied
+	shipErrs uint64
+	lastErr  error
+	closed   bool
+}
+
+// NewShipper starts a shipper delivering over link, retrying failed
+// sends with bo (nil uses the backoff defaults: 1ms base, 250ms cap).
+func NewShipper(link Link, bo *shardset.Backoff) *Shipper {
+	if bo == nil {
+		bo = &shardset.Backoff{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Shipper{link: link, bo: bo, ctx: ctx, cancel: cancel, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.drain()
+	return s
+}
+
+// Ack records one durably acknowledged primary mutation and returns
+// its assigned LSN. Call it under the same lock that ordered the
+// mutation so ship order equals mutation order. After Close the LSN
+// still advances (the lag stays honest) but nothing is enqueued.
+func (s *Shipper) Ack(rec persist.WALRecord) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.primary++
+	if !s.closed {
+		s.queue = append(s.queue, Record{LSN: s.primary, Rec: rec})
+		s.cond.Broadcast()
+	}
+	return s.primary
+}
+
+// Status returns the current replication state.
+func (s *Shipper) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		PrimaryLSN: s.primary,
+		AppliedLSN: s.applied,
+		Lag:        s.primary - s.applied,
+		ShipErrors: s.shipErrs,
+	}
+	if s.lastErr != nil {
+		st.LastError = s.lastErr.Error()
+	}
+	return st
+}
+
+// WaitCaughtUp blocks until the follower has applied every
+// acknowledged mutation, the context expires, or the shipper closes
+// with lag outstanding.
+func (s *Shipper) WaitCaughtUp(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.applied < s.primary && !s.closed && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	if s.applied >= s.primary {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("replica: shipper closed with lag %d", s.primary-s.applied)
+}
+
+// Rebase declares the follower identical to the primary at lsn — used
+// immediately after a snapshot bootstrap, when the follower's state
+// already contains every acknowledged mutation. Pending queue entries
+// are dropped: the snapshot supersedes them.
+func (s *Shipper) Rebase(lsn int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.primary = lsn
+	s.applied = lsn
+	s.queue = nil
+	s.cond.Broadcast()
+}
+
+// Close stops delivery and waits for the drain goroutine to exit.
+// Pending records are not shipped (Status keeps reporting the honest
+// lag). Safe to call more than once.
+func (s *Shipper) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	s.cancel()
+	<-s.done
+}
+
+// drain delivers queued records in LSN order, one at a time, retrying
+// each until the link accepts it or the shipper closes.
+func (s *Shipper) drain() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		rec := s.queue[0]
+		s.mu.Unlock()
+		if !s.ship(rec) {
+			return // closed mid-retry
+		}
+		s.mu.Lock()
+		// A Rebase may have cleared the queue while the ship was in
+		// flight; only advance if this record is still the head.
+		if len(s.queue) > 0 && s.queue[0].LSN == rec.LSN {
+			s.queue = s.queue[1:]
+			if rec.LSN > s.applied {
+				s.applied = rec.LSN
+			}
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// ship delivers one record, retrying with backoff until it succeeds.
+// It reports false if the shipper closed before delivery.
+func (s *Shipper) ship(rec Record) bool {
+	for attempt := 0; ; attempt++ {
+		err := s.link.Ship(s.ctx, rec)
+		if err == nil {
+			return true
+		}
+		s.mu.Lock()
+		s.shipErrs++
+		s.lastErr = err
+		closed := s.closed
+		s.mu.Unlock()
+		if closed || !s.bo.Sleep(s.ctx, attempt, 0) {
+			return false
+		}
+	}
+}

@@ -27,19 +27,38 @@ import (
 type Health struct {
 	brk *admission.Breaker
 
-	mu        sync.Mutex
-	successes int64
-	failures  int64
-	skips     int64 // dispatches suppressed while quarantined
-	lastErr   error
-	lastFault time.Time
+	mu             sync.Mutex
+	successes      int64
+	failures       int64
+	skips          int64 // dispatches suppressed while quarantined
+	lastErr        error
+	lastFault      time.Time
+	lastState      string
+	lastTransition time.Time
 }
 
 // NewHealth builds a tracker that quarantines after `threshold`
 // consecutive failures (min 1) and probes again after `cooldown`
 // (min 1ms).
 func NewHealth(threshold int, cooldown time.Duration) *Health {
-	return &Health{brk: admission.NewBreaker(threshold, cooldown)}
+	h := &Health{brk: admission.NewBreaker(threshold, cooldown)}
+	h.lastState = h.brk.State().String()
+	h.lastTransition = time.Now()
+	return h
+}
+
+// noteStateLocked records a state-transition timestamp when the
+// breaker's state differs from the last one observed. The open →
+// half-open edge happens passively on cooldown expiry, so transition
+// times are observation times: exact for the edges this type drives
+// (Fault trips, Success lifts) and no later than the next dispatch or
+// stats read for the passive one.
+func (h *Health) noteStateLocked() {
+	s := h.brk.State().String()
+	if s != h.lastState {
+		h.lastState = s
+		h.lastTransition = time.Now()
+	}
 }
 
 // Allow reports whether the shard may be dispatched to. While
@@ -47,11 +66,12 @@ func NewHealth(threshold int, cooldown time.Duration) *Health {
 // admits exactly one probe.
 func (h *Health) Allow() bool {
 	ok := h.brk.Allow()
+	h.mu.Lock()
 	if !ok {
-		h.mu.Lock()
 		h.skips++
-		h.mu.Unlock()
 	}
+	h.noteStateLocked()
+	h.mu.Unlock()
 	return ok
 }
 
@@ -60,6 +80,7 @@ func (h *Health) Success() {
 	h.brk.Success()
 	h.mu.Lock()
 	h.successes++
+	h.noteStateLocked()
 	h.mu.Unlock()
 }
 
@@ -70,6 +91,7 @@ func (h *Health) Fault(err error) {
 	h.failures++
 	h.lastErr = err
 	h.lastFault = time.Now()
+	h.noteStateLocked()
 	h.mu.Unlock()
 }
 
@@ -91,19 +113,27 @@ type Stats struct {
 	Quarantines int64     `json:"quarantines"`
 	LastError   string    `json:"last_error,omitempty"`
 	LastFault   time.Time `json:"last_fault,omitempty"`
+	// LastTransition is when the tracker last observed the state
+	// change; TimeInState is the age of the current state at the
+	// snapshot — how long a shard has been quarantined (or healthy).
+	LastTransition time.Time     `json:"last_transition"`
+	TimeInState    time.Duration `json:"time_in_state"`
 }
 
 // Stats snapshots the tracker.
 func (h *Health) Stats() Stats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.noteStateLocked()
 	st := Stats{
-		State:       h.brk.State().String(),
-		Successes:   h.successes,
-		Failures:    h.failures,
-		Skips:       h.skips,
-		Quarantines: h.brk.Trips(),
-		LastFault:   h.lastFault,
+		State:          h.lastState,
+		Successes:      h.successes,
+		Failures:       h.failures,
+		Skips:          h.skips,
+		Quarantines:    h.brk.Trips(),
+		LastFault:      h.lastFault,
+		LastTransition: h.lastTransition,
+		TimeInState:    time.Since(h.lastTransition),
 	}
 	if h.lastErr != nil {
 		st.LastError = h.lastErr.Error()

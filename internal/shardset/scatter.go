@@ -73,7 +73,8 @@ type Outcome[T any] struct {
 	// when the dispatch was suppressed without an attempt.
 	Err error
 	// Tries counts dispatch attempts actually launched, including
-	// hedges; 0 when quarantined.
+	// hedges; 0 when quarantined. A failover re-dispatch is not a try
+	// — it goes to a different replica (see FailedOver).
 	Tries int
 	// Retries counts backoff-paced re-attempts after a retryable
 	// error.
@@ -83,7 +84,19 @@ type Outcome[T any] struct {
 	Hedged, HedgeWon bool
 	// Skipped reports the quarantine suppressed the dispatch.
 	Skipped bool
+	// FailedOver reports Value came from the shard's follower replica
+	// after the primary hard-faulted or was quarantined.
+	FailedOver bool
 }
+
+// Failover re-dispatches one shard's query to its follower replica.
+// The scatter executor invokes it only after the primary's attempt
+// loop resolved to a hard fault (an error Faulty counts against
+// health) or the quarantine suppressed the dispatch — never for
+// retryable overload or the caller's own context expiry, where a
+// second replica would either be hit by the same backpressure or
+// arrive past the deadline anyway.
+type Failover[T any] func(ctx context.Context, shard int) (T, error)
 
 // Scatter dispatches call to shards 0..n-1 concurrently and gathers
 // every outcome. Each shard runs its own attempt loop: quarantine
@@ -103,6 +116,18 @@ type Outcome[T any] struct {
 // health may be nil (no quarantine tracking) or hold one tracker per
 // shard.
 func Scatter[T any](ctx context.Context, n int, health []*Health, cfg Config, call func(ctx context.Context, shard, try int) (T, error)) []Outcome[T] {
+	return ScatterFailover[T](ctx, n, health, cfg, call, nil)
+}
+
+// ScatterFailover is Scatter with a follower re-dispatch: when a
+// shard's loop resolves to a hard fault or a quarantine skip and
+// failover is non-nil, the shard's slice is served by its replica
+// instead of being written off. A failover success clears the
+// outcome's error and sets FailedOver; a failover failure annotates
+// the primary's error (errors.Is still matches the primary fault).
+// Health tracking is unaffected — the primary's fault is recorded
+// either way, so quarantine and probing see the true primary state.
+func ScatterFailover[T any](ctx context.Context, n int, health []*Health, cfg Config, call func(ctx context.Context, shard, try int) (T, error), failover Failover[T]) []Outcome[T] {
 	cfg = cfg.withDefaults()
 	out := make([]Outcome[T], n)
 	var wg sync.WaitGroup
@@ -114,7 +139,7 @@ func Scatter[T any](ctx context.Context, n int, health []*Health, cfg Config, ca
 			if health != nil {
 				h = health[s]
 			}
-			out[s] = runShard(ctx, s, h, cfg, call)
+			out[s] = runShard(ctx, s, h, cfg, call, failover)
 		}(s)
 	}
 	wg.Wait()
@@ -122,11 +147,12 @@ func Scatter[T any](ctx context.Context, n int, health []*Health, cfg Config, ca
 }
 
 // runShard is one shard's attempt loop.
-func runShard[T any](ctx context.Context, shard int, h *Health, cfg Config, call func(ctx context.Context, shard, try int) (T, error)) Outcome[T] {
+func runShard[T any](ctx context.Context, shard int, h *Health, cfg Config, call func(ctx context.Context, shard, try int) (T, error), failover Failover[T]) Outcome[T] {
 	out := Outcome[T]{Shard: shard}
 	if h != nil && !h.Allow() {
 		out.Skipped = true
 		out.Err = ErrQuarantined
+		tryFailover(ctx, shard, failover, &out)
 		return out
 	}
 	try := 0
@@ -149,11 +175,33 @@ func runShard[T any](ctx context.Context, shard int, h *Health, cfg Config, call
 				}
 			}
 		}
-		if h != nil && (cfg.Faulty == nil || cfg.Faulty(err)) {
-			h.Fault(err)
+		if cfg.Faulty == nil || cfg.Faulty(err) {
+			if h != nil {
+				h.Fault(err)
+			}
+			tryFailover(ctx, shard, failover, &out)
 		}
 		return out
 	}
+}
+
+// tryFailover re-dispatches a failed shard to its follower, panic-
+// contained like any other attempt. No-op when no failover is wired
+// or the query's own budget is already spent.
+func tryFailover[T any](ctx context.Context, shard int, failover Failover[T], out *Outcome[T]) {
+	if failover == nil || ctx.Err() != nil {
+		return
+	}
+	v, err := safeCall(ctx, shard, out.Tries, func(ctx context.Context, shard, _ int) (T, error) {
+		return failover(ctx, shard)
+	})
+	if err != nil {
+		out.Err = fmt.Errorf("%w (failover: %v)", out.Err, err)
+		return
+	}
+	out.Value = v
+	out.Err = nil
+	out.FailedOver = true
 }
 
 // hedgedAttempt launches one attempt and, when configured and the

@@ -61,7 +61,7 @@ func assertSoundIntervals(t *testing.T, tag string, single *Engine, q Histogram,
 	t.Helper()
 	for _, it := range items {
 		exact := exactDist(t, single, q, it.Index)
-		if it.Lower > exact || exact > it.Upper {
+		if !intervalContainsUlps(it.Lower, it.Upper, exact, 4) {
 			t.Fatalf("%s: item %d interval [%v, %v] excludes exact %v", tag, it.Index, it.Lower, it.Upper, exact)
 		}
 		if it.Refined && it.Lower != it.Upper {

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"emdsearch/internal/persist"
 	"emdsearch/internal/search"
 	"emdsearch/internal/shardset"
 )
@@ -58,11 +59,29 @@ type ShardSetOptions struct {
 	// ShardHook, when non-nil, runs before every shard dispatch
 	// (including retries and hedges) with the attempt's context, the
 	// shard number, the 0-based attempt, and the operation ("knn",
-	// "range"). A returned error fails that attempt — the
+	// "range", or — for a follower re-dispatch — "knn-failover",
+	// "range-failover"). A returned error fails that attempt — the
 	// fault-injection seam the chaos suite drives delayed, erroring,
 	// panicking and flapping shards through. A delay-injecting hook
 	// must watch ctx, exactly as a real slow shard would.
 	ShardHook func(ctx context.Context, shard, try int, op string) error
+	// Replicas, when 1, gives every shard a follower replica: each
+	// acknowledged mutation is shipped (LSN-sequenced, idempotently
+	// replayed over a snapshot bootstrap at Build) to a follower
+	// engine, and a shard whose dispatch hard-faults or is quarantined
+	// is re-dispatched to its follower instead of being written off.
+	// A caught-up follower's answer is byte-identical to the healthy
+	// path; a lagging one is honestly Degraded with a Freshness entry
+	// in the coverage certificate. Values > 1 are clamped to 1 (one
+	// follower per shard today; the ship seam is replica.Link-shaped,
+	// so more replicas and network transports slot in later).
+	Replicas int
+	// ReplicaShipHook, when non-nil, runs before each shipped record
+	// is applied to a shard's follower, with the record's LSN. An
+	// error fails that delivery attempt — the shipper retries it with
+	// jittered backoff — making this the fault-injection seam for
+	// flapping replication links.
+	ReplicaShipHook func(shard int, lsn int64) error
 	// Seed fixes the retry jitter stream for reproducible tests; 0
 	// seeds from the clock.
 	Seed int64
@@ -83,6 +102,12 @@ func (o ShardSetOptions) withDefaults() ShardSetOptions {
 	}
 	if o.QuarantineCooldown <= 0 {
 		o.QuarantineCooldown = time.Second
+	}
+	if o.Replicas > 1 {
+		o.Replicas = 1
+	}
+	if o.Replicas < 0 {
+		o.Replicas = 0
 	}
 	return o
 }
@@ -106,13 +131,35 @@ type ShardCoverage struct {
 	// ItemsTotal is the logical database size; ItemsUncovered counts
 	// items the query is not known to have examined — everything on
 	// failed shards (minus the neighbors a failing shard confirmed
-	// into the merged answer before it died) plus whatever degraded
-	// shards never pulled. It is an upper bound on the true miss: a
-	// failed shard may have examined items it never got to confirm,
-	// and those stay counted as uncovered. Items covered only by an
-	// interval appear in Anytime, not here.
+	// into the merged answer before it died), whatever degraded shards
+	// never pulled, plus the replication lag of any lagging follower
+	// that served a failed-over slice. It is an upper bound on the
+	// true miss: a failed shard may have examined items it never got
+	// to confirm, and those stay counted as uncovered. Items covered
+	// only by an interval appear in Anytime, not here.
 	ItemsTotal     int `json:"items_total"`
 	ItemsUncovered int `json:"items_uncovered"`
+	// Freshness holds one entry per shard whose slice was served by
+	// its follower replica, certifying how fresh that follower was. A
+	// Lag of 0 means the follower held every acknowledged mutation and
+	// its slice is byte-identical to the healthy path; Lag > 0 marks
+	// the answer Degraded and adds Lag to ItemsUncovered.
+	Freshness []ShardFreshness `json:"freshness,omitempty"`
+}
+
+// ShardFreshness certifies the replication state of a follower at the
+// moment it served a shard's slice: AppliedLSN is captured before the
+// follower query is dispatched and PrimaryLSN when the certificate is
+// assembled, so Lag = PrimaryLSN − AppliedLSN bounds from above how
+// many acknowledged mutations the serving snapshot could have been
+// missing — each either a new item the follower never examined
+// (counted into ItemsUncovered) or a deletion the answer may not yet
+// reflect.
+type ShardFreshness struct {
+	Shard      int   `json:"shard"`
+	PrimaryLSN int64 `json:"primary_lsn"`
+	AppliedLSN int64 `json:"applied_lsn"`
+	Lag        int64 `json:"lag"`
 }
 
 // ShardAnswer is the outcome of a scatter-gather k-NN query.
@@ -140,14 +187,17 @@ type ShardAnswer struct {
 
 // ShardOutcome is one shard's dispatch disposition for one query.
 type ShardOutcome struct {
-	Shard    int    `json:"shard"`
-	Tries    int    `json:"tries"`
-	Retries  int    `json:"retries"`
-	Hedged   bool   `json:"hedged,omitempty"`
-	HedgeWon bool   `json:"hedge_won,omitempty"`
-	Skipped  bool   `json:"skipped,omitempty"`
-	Degraded bool   `json:"degraded,omitempty"`
-	Err      string `json:"err,omitempty"`
+	Shard    int  `json:"shard"`
+	Tries    int  `json:"tries"`
+	Retries  int  `json:"retries"`
+	Hedged   bool `json:"hedged,omitempty"`
+	HedgeWon bool `json:"hedge_won,omitempty"`
+	Skipped  bool `json:"skipped,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+	// FailedOver reports the shard's slice was served by its follower
+	// replica after the primary hard-faulted or was quarantined.
+	FailedOver bool   `json:"failed_over,omitempty"`
+	Err        string `json:"err,omitempty"`
 }
 
 // ShardRangeAnswer is the outcome of a scatter-gather range query:
@@ -193,28 +243,40 @@ type ShardBatchResult struct {
 // but not with each other.
 type ShardSet struct {
 	opts    ShardSetOptions
+	cost    CostMatrix // retained for follower snapshot bootstraps
+	engOpts Options
 	engines []*Engine
 	gates   []*Gate
 	health  []*shardset.Health
 	backoff *shardset.Backoff
 
-	mu    sync.Mutex // guards total (the global id counter)
+	// replicas holds one follower per shard when opts.Replicas == 1,
+	// nil otherwise. The slice itself is fixed at construction; the
+	// pointers inside a shardReplica — and the engines/gates slice
+	// elements — are swapped only by Promote, under rw.
+	replicas []*shardReplica
+	rw       sync.RWMutex // guards engine/gate/follower pointer swaps
+
+	mu    sync.Mutex // guards total (the global id counter) and orders mutations for shipping
 	total int
 
-	queries   atomic.Int64
-	degraded  atomic.Int64
-	retries   atomic.Int64
-	hedges    atomic.Int64
-	failures  atomic.Int64
-	skips     atomic.Int64
-	hedgeWins atomic.Int64
+	queries        atomic.Int64
+	degraded       atomic.Int64
+	retries        atomic.Int64
+	hedges         atomic.Int64
+	failures       atomic.Int64
+	skips          atomic.Int64
+	hedgeWins      atomic.Int64
+	failovers      atomic.Int64 // follower re-dispatches attempted
+	failoverServes atomic.Int64 // shard slices a follower served
+	walReopens     atomic.Int64 // broken-WAL heals on the ingest path
 }
 
 // NewShardSet builds an empty sharded set: opts.Shards engines, each
 // with its own gate, all sharing cost and engOpts.
 func NewShardSet(cost CostMatrix, engOpts Options, opts ShardSetOptions) (*ShardSet, error) {
 	opts = opts.withDefaults()
-	s := &ShardSet{opts: opts}
+	s := &ShardSet{opts: opts, cost: cost, engOpts: engOpts}
 	for i := 0; i < opts.Shards; i++ {
 		e, err := NewEngine(cost, engOpts)
 		if err != nil {
@@ -225,6 +287,7 @@ func NewShardSet(cost CostMatrix, engOpts Options, opts ShardSetOptions) (*Shard
 		s.health = append(s.health, shardset.NewHealth(opts.QuarantineAfter, opts.QuarantineCooldown))
 	}
 	s.backoff = &shardset.Backoff{Base: opts.RetryBase, Cap: opts.RetryCap, Seed: opts.Seed}
+	s.initReplicas()
 	return s, nil
 }
 
@@ -233,10 +296,25 @@ func (s *ShardSet) Shards() int { return len(s.engines) }
 
 // Engine returns shard i's engine — for direct inspection or
 // mutation-side operations the set does not wrap.
-func (s *ShardSet) Engine(i int) *Engine { return s.engines[i] }
+func (s *ShardSet) Engine(i int) *Engine { return s.engineAt(i) }
 
 // Gate returns shard i's admission gate.
-func (s *ShardSet) Gate(i int) *Gate { return s.gates[i] }
+func (s *ShardSet) Gate(i int) *Gate { return s.gateAt(i) }
+
+// engineAt and gateAt read a shard's current primary under the swap
+// lock: Promote replaces these slice elements, and an unsynchronized
+// read would race it.
+func (s *ShardSet) engineAt(i int) *Engine {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.engines[i]
+}
+
+func (s *ShardSet) gateAt(i int) *Gate {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.gates[i]
+}
 
 // shardOf maps a global id to its (shard, local) placement.
 func (s *ShardSet) shardOf(gid int) (shard, local int) {
@@ -260,14 +338,31 @@ func shardLen(total, shards, shard int) int {
 	return n
 }
 
+// walReopenAttempts bounds the jittered-backoff reopen attempts Add
+// makes to heal a broken per-shard WAL before surfacing the error.
+const walReopenAttempts = 5
+
 // Add inserts a histogram into the set and returns its global id.
 // Placement is round-robin: the item lands on shard id % Shards.
+//
+// A broken per-shard WAL (a torn append whose rollback also failed)
+// is healed in place: Add reopens the log with ReopenWALRetry —
+// bounded attempts, jittered backoff — and retries the insert once,
+// so one disk hiccup does not brick the shard's ingest path. Only a
+// reopen that keeps failing surfaces the error.
 func (s *ShardSet) Add(label string, h Histogram) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	gid := s.total
 	shard, local := s.shardOf(gid)
 	got, err := s.engines[shard].Add(label, h)
+	if errors.Is(err, ErrWALBroken) {
+		if rerr := s.engines[shard].ReopenWALRetry(context.Background(), walReopenAttempts); rerr != nil {
+			return 0, fmt.Errorf("emdsearch: shard %d: %w (reopen failed: %v)", shard, err, rerr)
+		}
+		s.walReopens.Add(1)
+		got, err = s.engines[shard].Add(label, h)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -275,6 +370,7 @@ func (s *ShardSet) Add(label string, h Histogram) (int, error) {
 		return 0, fmt.Errorf("emdsearch: shard %d placement drifted: item %d landed at local %d, want %d (was the shard mutated directly?)",
 			shard, gid, got, local)
 	}
+	s.shipMutation(shard, persist.WALRecord{Op: persist.WALAdd, ID: local, Label: label, Vector: h})
 	s.total = gid + 1
 	return gid, nil
 }
@@ -289,6 +385,8 @@ func (s *ShardSet) Len() int {
 
 // Alive returns the number of live (non-deleted) items across shards.
 func (s *ShardSet) Alive() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
 	n := 0
 	for _, e := range s.engines {
 		n += e.Alive()
@@ -296,26 +394,35 @@ func (s *ShardSet) Alive() int {
 	return n
 }
 
-// Delete soft-deletes the item with global id gid.
+// Delete soft-deletes the item with global id gid. It holds the
+// set's mutation lock for the whole operation so the replica ship
+// order matches the mutation order.
 func (s *ShardSet) Delete(gid int) error {
 	s.mu.Lock()
-	total := s.total
-	s.mu.Unlock()
-	if gid < 0 || gid >= total {
-		return badQueryf("Delete(%d): global id out of range [0, %d)", gid, total)
+	defer s.mu.Unlock()
+	if gid < 0 || gid >= s.total {
+		return badQueryf("Delete(%d): global id out of range [0, %d)", gid, s.total)
 	}
 	shard, local := s.shardOf(gid)
-	return s.engines[shard].Delete(local)
+	if err := s.engines[shard].Delete(local); err != nil {
+		return err
+	}
+	s.shipMutation(shard, persist.WALRecord{Op: persist.WALDelete, ID: local})
+	return nil
 }
 
 // Label returns the label of the item with global id gid.
 func (s *ShardSet) Label(gid int) string {
 	shard, local := s.shardOf(gid)
-	return s.engines[shard].Label(local)
+	return s.engineAt(shard).Label(local)
 }
 
 // Build constructs every shard's filter pipeline, in parallel. The
-// first error wins; the other shards still finish building.
+// first error wins; the other shards still finish building. With
+// Replicas set, Build then bootstraps every shard's follower from a
+// snapshot of its primary — the same Save format crash recovery
+// loads — and rebases its shipper so subsequent mutations stream
+// incrementally.
 func (s *ShardSet) Build() error {
 	errs := make([]error, len(s.engines))
 	var wg sync.WaitGroup
@@ -332,7 +439,7 @@ func (s *ShardSet) Build() error {
 			return fmt.Errorf("emdsearch: build shard %d: %w", i, err)
 		}
 	}
-	return nil
+	return s.bootstrapReplicas()
 }
 
 // scatterConfig assembles the per-query scatter policy: overload is
@@ -378,14 +485,18 @@ func (s *ShardSet) account(outs []shardset.Outcome[shardServe]) []ShardOutcome {
 		if o.Err != nil {
 			s.failures.Add(1)
 		}
+		if o.FailedOver {
+			s.failoverServes.Add(1)
+		}
 		rendered[i] = ShardOutcome{
-			Shard:    o.Shard,
-			Tries:    o.Tries,
-			Retries:  o.Retries,
-			Hedged:   o.Hedged,
-			HedgeWon: o.HedgeWon,
-			Skipped:  o.Skipped,
-			Degraded: o.Err == nil && o.Value.degraded,
+			Shard:      o.Shard,
+			Tries:      o.Tries,
+			Retries:    o.Retries,
+			Hedged:     o.Hedged,
+			HedgeWon:   o.HedgeWon,
+			Skipped:    o.Skipped,
+			FailedOver: o.FailedOver,
+			Degraded:   o.Err == nil && o.Value.degraded,
 		}
 		if o.Err != nil {
 			rendered[i].Err = o.Err.Error()
@@ -395,12 +506,18 @@ func (s *ShardSet) account(outs []shardset.Outcome[shardServe]) []ShardOutcome {
 }
 
 // shardServe is one shard's served answer inside a scatter: exactly
-// one of knn/rng is set, plus whether the shard degraded.
+// one of knn/rng is set, plus whether the shard degraded. appliedLSN
+// is meaningful only on a failed-over outcome: the follower's applied
+// LSN captured BEFORE its query dispatched, so the snapshot the
+// follower served from contains at least those mutations and the
+// freshness bound computed against the primary's LSN at merge time is
+// sound.
 type shardServe struct {
-	knn      *KNNAnswer
-	rng      []Result
-	rngStats *QueryStats
-	degraded bool
+	knn        *KNNAnswer
+	rng        []Result
+	rngStats   *QueryStats
+	degraded   bool
+	appliedLSN int64
 }
 
 // KNN answers a k-NN query across all shards. See ShardAnswer for the
@@ -409,7 +526,7 @@ type shardServe struct {
 // other condition — including every shard degrading — returns a
 // certified (possibly partial) answer with a nil error.
 func (s *ShardSet) KNN(ctx context.Context, q Histogram, k int) (*ShardAnswer, error) {
-	if err := s.engines[0].validateKNN(q, k); err != nil {
+	if err := s.engineAt(0).validateKNN(q, k); err != nil {
 		return nil, err
 	}
 	s.queries.Add(1)
@@ -423,14 +540,14 @@ func (s *ShardSet) KNN(ctx context.Context, q Histogram, k int) (*ShardAnswer, e
 	sctx, cancel := shardset.CarveBudget(ctx, s.opts.MergeReserve, s.opts.ShardTimeout)
 	defer cancel()
 
-	outs := shardset.Scatter(sctx, len(s.gates), s.health, s.scatterConfig(),
+	outs := shardset.ScatterFailover(sctx, len(s.gates), s.health, s.scatterConfig(),
 		func(ctx context.Context, shard, try int) (shardServe, error) {
 			if h := s.opts.ShardHook; h != nil {
 				if err := h(ctx, shard, try, "knn"); err != nil {
 					return shardServe{}, err
 				}
 			}
-			ans, err := s.gates[shard].knnShared(ctx, q, k, shared, s.toGlobal(shard))
+			ans, err := s.gateAt(shard).knnShared(ctx, q, k, shared, s.toGlobal(shard))
 			if err != nil {
 				if ans != nil && ans.Degraded {
 					// The budget expired mid-query: the certified partial
@@ -440,7 +557,8 @@ func (s *ShardSet) KNN(ctx context.Context, q Histogram, k int) (*ShardAnswer, e
 				return shardServe{}, err
 			}
 			return shardServe{knn: ans, degraded: ans.Degraded}, nil
-		})
+		},
+		s.knnFailover(q, k, shared))
 
 	ans := &ShardAnswer{
 		Stats:      &QueryStats{},
@@ -469,9 +587,12 @@ func (s *ShardSet) KNN(ctx context.Context, q Histogram, k int) (*ShardAnswer, e
 		for _, r := range sa.Results {
 			pool[toG(r.Index)] = r.Dist
 		}
-		if o.Value.degraded {
+		lagging := s.certifyFreshness(&ans.Coverage, o)
+		if o.Value.degraded || lagging {
 			ans.Coverage.ShardsDegraded++
-			ans.Coverage.ItemsUncovered += sa.Unpulled
+			if o.Value.degraded {
+				ans.Coverage.ItemsUncovered += sa.Unpulled
+			}
 			for _, it := range sa.Anytime {
 				anytime = append(anytime, AnytimeItem{
 					Index: toG(it.Index), Lower: it.Lower, Upper: it.Upper, Refined: it.Refined,
@@ -626,21 +747,21 @@ func addStats(dst, src *QueryStats) {
 // returned item is individually certified within eps, so degraded
 // answers are sound, only possibly incomplete.
 func (s *ShardSet) Range(ctx context.Context, q Histogram, eps float64) (*ShardRangeAnswer, error) {
-	if err := s.engines[0].validateRange(q, eps); err != nil {
+	if err := s.engineAt(0).validateRange(q, eps); err != nil {
 		return nil, err
 	}
 	s.queries.Add(1)
 	sctx, cancel := shardset.CarveBudget(ctx, s.opts.MergeReserve, s.opts.ShardTimeout)
 	defer cancel()
 
-	outs := shardset.Scatter(sctx, len(s.gates), s.health, s.scatterConfig(),
+	outs := shardset.ScatterFailover(sctx, len(s.gates), s.health, s.scatterConfig(),
 		func(ctx context.Context, shard, try int) (shardServe, error) {
 			if h := s.opts.ShardHook; h != nil {
 				if err := h(ctx, shard, try, "range"); err != nil {
 					return shardServe{}, err
 				}
 			}
-			res, stats, err := s.gates[shard].Range(ctx, q, eps)
+			res, stats, err := s.gateAt(shard).Range(ctx, q, eps)
 			if err != nil {
 				if stats != nil && stats.Cancelled {
 					return shardServe{rng: res, rngStats: stats, degraded: true}, nil
@@ -648,7 +769,8 @@ func (s *ShardSet) Range(ctx context.Context, q Histogram, eps float64) (*ShardR
 				return shardServe{}, err
 			}
 			return shardServe{rng: res, rngStats: stats, degraded: stats != nil && stats.Cancelled}, nil
-		})
+		},
+		s.rangeFailover(q, eps))
 
 	ans := &ShardRangeAnswer{
 		Stats:      &QueryStats{},
@@ -671,9 +793,10 @@ func (s *ShardSet) Range(ctx context.Context, q Histogram, eps float64) (*ShardR
 		for _, r := range o.Value.rng {
 			merged = append(merged, Result{Index: toG(r.Index), Dist: r.Dist})
 		}
-		if o.Value.degraded {
+		lagging := s.certifyFreshness(&ans.Coverage, o)
+		if o.Value.degraded || lagging {
 			ans.Coverage.ShardsDegraded++
-			if st := o.Value.rngStats; st != nil {
+			if st := o.Value.rngStats; o.Value.degraded && st != nil {
 				// The unexamined tail of the snapshot this shard
 				// actually searched — not live engine state, which
 				// races concurrent Adds and would mis-count.
@@ -739,19 +862,26 @@ type ShardHealth struct {
 	Quarantines int64     `json:"quarantines"`
 	LastError   string    `json:"last_error,omitempty"`
 	LastFault   time.Time `json:"last_fault,omitempty"`
+	// LastTransition is when the shard last changed state;
+	// TimeInState is the current state's age at the snapshot — how
+	// long the shard has been quarantined (or healthy).
+	LastTransition time.Time     `json:"last_transition"`
+	TimeInState    time.Duration `json:"time_in_state"`
 }
 
 // Health returns shard i's availability snapshot.
 func (s *ShardSet) Health(i int) ShardHealth {
 	st := s.health[i].Stats()
 	return ShardHealth{
-		State:       st.State,
-		Successes:   st.Successes,
-		Failures:    st.Failures,
-		Skips:       st.Skips,
-		Quarantines: st.Quarantines,
-		LastError:   st.LastError,
-		LastFault:   st.LastFault,
+		State:          st.State,
+		Successes:      st.Successes,
+		Failures:       st.Failures,
+		Skips:          st.Skips,
+		Quarantines:    st.Quarantines,
+		LastError:      st.LastError,
+		LastFault:      st.LastFault,
+		LastTransition: st.LastTransition,
+		TimeInState:    st.TimeInState,
 	}
 }
 
@@ -772,14 +902,23 @@ type ShardSetMetrics struct {
 	// returned with Degraded set. Retries, Hedges, HedgeWins,
 	// ShardFailures and QuarantineSkips count per-shard dispatch
 	// events across all queries.
-	Queries         int64          `json:"queries"`
-	DegradedAnswers int64          `json:"degraded_answers"`
-	Retries         int64          `json:"retries"`
-	Hedges          int64          `json:"hedges"`
-	HedgeWins       int64          `json:"hedge_wins"`
-	ShardFailures   int64          `json:"shard_failures"`
-	QuarantineSkips int64          `json:"quarantine_skips"`
-	PerShard        []ShardMetrics `json:"per_shard"`
+	Queries         int64 `json:"queries"`
+	DegradedAnswers int64 `json:"degraded_answers"`
+	Retries         int64 `json:"retries"`
+	Hedges          int64 `json:"hedges"`
+	HedgeWins       int64 `json:"hedge_wins"`
+	ShardFailures   int64 `json:"shard_failures"`
+	QuarantineSkips int64 `json:"quarantine_skips"`
+	// Failovers counts follower re-dispatches attempted;
+	// FailoverServes those that produced the shard's answer.
+	// WALReopens counts broken-WAL heals on the ingest path.
+	Failovers      int64          `json:"failovers"`
+	FailoverServes int64          `json:"failover_serves"`
+	WALReopens     int64          `json:"wal_reopens"`
+	PerShard       []ShardMetrics `json:"per_shard"`
+	// Replicas holds per-shard replication status, one entry per
+	// shard, when the set runs with followers; empty otherwise.
+	Replicas []ShardReplica `json:"replicas,omitempty"`
 }
 
 // Metrics snapshots the set's serving counters plus every shard's
@@ -796,13 +935,19 @@ func (s *ShardSet) Metrics() ShardSetMetrics {
 		HedgeWins:       s.hedgeWins.Load(),
 		ShardFailures:   s.failures.Load(),
 		QuarantineSkips: s.skips.Load(),
+		Failovers:       s.failovers.Load(),
+		FailoverServes:  s.failoverServes.Load(),
+		WALReopens:      s.walReopens.Load(),
 	}
-	for i := range s.engines {
+	for i := range s.health {
 		m.PerShard = append(m.PerShard, ShardMetrics{
-			Engine: s.engines[i].Metrics(),
-			Gate:   s.gates[i].Metrics(),
+			Engine: s.engineAt(i).Metrics(),
+			Gate:   s.gateAt(i).Metrics(),
 			Health: s.Health(i),
 		})
+		if r, ok := s.Replica(i); ok {
+			m.Replicas = append(m.Replicas, r)
+		}
 	}
 	return m
 }
@@ -864,7 +1009,7 @@ func (s *ShardSet) CloseWAL() error {
 // after a Checkpoint(dir) — to resume durable logging.
 func OpenShardSet(dir string, cost CostMatrix, engOpts Options, opts ShardSetOptions) (*ShardSet, []*RecoverStats, error) {
 	opts = opts.withDefaults()
-	s := &ShardSet{opts: opts}
+	s := &ShardSet{opts: opts, cost: cost, engOpts: engOpts}
 	stats := make([]*RecoverStats, opts.Shards)
 	total := 0
 	for i := 0; i < opts.Shards; i++ {
@@ -886,6 +1031,7 @@ func OpenShardSet(dir string, cost CostMatrix, engOpts Options, opts ShardSetOpt
 	}
 	s.total = total
 	s.backoff = &shardset.Backoff{Base: opts.RetryBase, Cap: opts.RetryCap, Seed: opts.Seed}
+	s.initReplicas()
 	return s, stats, nil
 }
 
